@@ -1,0 +1,10 @@
+"""Regenerate the design-choice ablations (DESIGN.md §6)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, record_result):
+    """Dependency vectors, in-chain replication, and piggybacking each
+    ablated against their §3.2/§4.3 alternatives."""
+    results = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    record_result("ablations", results)

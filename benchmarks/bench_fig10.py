@@ -1,0 +1,9 @@
+"""Regenerate Figure 10 (latency vs chain length)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, record_result):
+    """Paper: FTC ~20 us/middlebox overhead; FTMB ~35 us/middlebox."""
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    record_result("fig10", result)

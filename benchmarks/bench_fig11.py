@@ -1,0 +1,9 @@
+"""Regenerate Figure 11 (Ch-3 per-packet latency CDF)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, record_result):
+    """Paper: FTC tail latency only moderately above the minimum."""
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    record_result("fig11", result)

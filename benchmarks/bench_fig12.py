@@ -1,0 +1,9 @@
+"""Regenerate Figure 12 (replication factor impact on Ch-5)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, record_result):
+    """Paper: factor 5 costs ~3% throughput and ~8 us latency."""
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    record_result("fig12", result)

@@ -1,0 +1,9 @@
+"""Regenerate Figure 6 (Monitor throughput vs sharing level)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, record_result):
+    """Paper: FTC/FTMB 1.2x at sharing 8, 1.4x at 2; NIC cap at sharing 1."""
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    record_result("fig6", result)

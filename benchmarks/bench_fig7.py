@@ -1,0 +1,9 @@
+"""Regenerate Figure 7 (MazuNAT throughput vs threads)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, record_result):
+    """Paper: FTC/FTMB 1.37-1.94x for 1-4 threads; NIC cap at 8 threads."""
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    record_result("fig7", result)

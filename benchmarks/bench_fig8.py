@@ -1,0 +1,10 @@
+"""Regenerate Figure 8 (latency vs offered load, three panels)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, record_result):
+    """Paper: flat latency until saturation, then queueing spikes;
+    FTC within tens of microseconds of NF below saturation."""
+    panels = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    record_result("fig8", panels)

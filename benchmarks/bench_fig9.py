@@ -1,0 +1,9 @@
+"""Regenerate Figure 9 (throughput vs chain length)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, record_result):
+    """Paper: FTC 8.28-8.92 Mpps; 2-3.5x FTMB; snapshots drop 13-39%."""
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    record_result("fig9", result)

@@ -1,0 +1,9 @@
+"""Regenerate Table 2 (per-packet CPU-cycle breakdown, MazuNAT in Ch-2)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, record_result):
+    """Paper: processing 355, locking 152, copy 58, forwarder 8, buffer 100."""
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    record_result("table2", result)

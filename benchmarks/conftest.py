@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table/figure of the paper and both
+prints it (visible with ``pytest -s``) and writes it to
+``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can reference the
+latest regenerated numbers.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_result():
+    """Persist and echo an ExperimentResult (or a list of them)."""
+
+    def _record(name, results):
+        if not isinstance(results, (list, tuple)):
+            results = [results]
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(result.render() for result in results)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return results
+
+    return _record

@@ -1,0 +1,69 @@
+"""A realistic enterprise chain under connection churn.
+
+The paper's introduction motivates chains like "intrusion detection
+system -> firewall -> NAT" for data-center egress traffic.  This
+example deploys StatefulFirewall -> PortCountIDS -> TokenBucketPolicer
+-> MazuNAT with f=1 fault tolerance, drives it with churning
+connections (flows arrive, live briefly, depart), and prints per-
+middlebox statistics plus replication health.
+
+Run:  python examples/enterprise_chain.py
+"""
+
+from repro.core import FTCChain
+from repro.metrics import EgressRecorder, format_table
+from repro.middlebox import (
+    MazuNAT,
+    PortCountIDS,
+    StatefulFirewall,
+    TokenBucketPolicer,
+)
+from repro.net import FlowChurnGenerator
+from repro.sim import RandomStreams, Simulator
+
+
+def main():
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    middleboxes = [
+        StatefulFirewall(name="firewall"),
+        PortCountIDS(name="ids", alert_threshold=500, watched_ports=(80,)),
+        TokenBucketPolicer(name="policer", rate_pps=30_000, burst=50),
+        MazuNAT(name="nat"),
+    ]
+    chain = FTCChain(sim, middleboxes, f=1, deliver=egress, n_threads=4)
+    chain.start()
+
+    generator = FlowChurnGenerator(
+        sim, chain.ingress,
+        flow_arrival_rate=2_000,     # connections/second
+        flow_lifetime_s=5e-3,
+        per_flow_pps=40_000,
+        streams=RandomStreams(42))
+
+    sim.run(until=0.05)
+    generator.stop()
+    sim.run(until=0.06)
+
+    print(f"flows: {generator.flows_started} started, "
+          f"{generator.flows_finished} finished")
+    print(f"packets: {generator.packets_sent} offered, "
+          f"{chain.total_released()} released, "
+          f"mean latency {egress.latency.mean_us():.1f} us\n")
+
+    rows = [(m.name, m.describe(), m.packets_processed, m.packets_dropped)
+            for m in middleboxes]
+    print(format_table(["middlebox", "function", "processed", "dropped"],
+                       rows))
+
+    print("\nreplication health (stores identical across each group):")
+    for index, mbox in enumerate(middleboxes):
+        stores = [chain.store_of(mbox.name, pos)
+                  for pos in chain.group_positions(index)]
+        consistent = all(s == stores[0] for s in stores)
+        print(f"  {mbox.name}: {len(stores[0])} keys, "
+              f"replicas consistent = {consistent}")
+
+
+if __name__ == "__main__":
+    main()

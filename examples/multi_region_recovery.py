@@ -1,0 +1,64 @@
+"""Multi-region deployment and WAN-dominated recovery (Fig 13 style).
+
+Deploys Ch-Rec across three cloud regions, runs an orchestrator with
+heartbeat detection, fails each middlebox in turn, and reports the
+recovery-time breakdown -- showing how the orchestrator-to-region RTT
+drives initialization delay and inter-region RTTs drive state
+recovery.
+
+Run:  python examples/multi_region_recovery.py
+"""
+
+from repro.core import FTCChain
+from repro.metrics import EgressRecorder, format_table
+from repro.middlebox import ch_rec
+from repro.net import TrafficGenerator, balanced_flows
+from repro.orchestration import (
+    CloudNetwork,
+    Orchestrator,
+    place_chain,
+    validate_isolation,
+)
+from repro.sim import Simulator
+
+REGIONS = ["core", "remote", "neighbor"]
+
+
+def one_failure(position):
+    sim = Simulator()
+    net = CloudNetwork(sim, seed=position)
+    egress = EgressRecorder(sim)
+    chain = FTCChain(sim, ch_rec(n_threads=2), f=1, deliver=egress,
+                     net=net, n_threads=2)
+    place_chain(chain, REGIONS)
+    assert validate_isolation(chain) == []
+    chain.start()
+    orchestrator = Orchestrator(sim, chain, region="core")
+    orchestrator.start()
+    TrafficGenerator(sim, chain.ingress, rate_pps=5e4,
+                     flows=balanced_flows(8, 2))
+    sim.schedule_callback(0.01, lambda: chain.fail_position(position))
+    sim.run(until=0.6)
+    return orchestrator.history[0]
+
+
+def main():
+    rows = []
+    for position, mbox in enumerate(["Firewall", "Monitor", "SimpleNAT"]):
+        event = one_failure(position)
+        report = event.report
+        rows.append((mbox, REGIONS[position],
+                     f"{event.detection_delay_s * 1e3:.1f}",
+                     f"{report.initialization_s * 1e3:.1f}",
+                     f"{report.state_recovery_s * 1e3:.1f}",
+                     f"{report.total_s * 1e3:.1f}"))
+    print(format_table(
+        ["Middlebox", "Region", "Detection (ms)", "Init (ms)",
+         "State recovery (ms)", "Recovery total (ms)"],
+        rows, title="Ch-Rec recovery across SAVI-like regions"))
+    print("\nInitialization tracks the orchestrator-to-region RTT; state")
+    print("recovery is dominated by WAN round trips between group members.")
+
+
+if __name__ == "__main__":
+    main()

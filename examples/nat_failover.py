@@ -1,0 +1,67 @@
+"""Enterprise NAT failover: connection persistence across failures.
+
+The paper's §3.2 motivation: a NAT must keep directing each connection
+to the same translation even when its server dies.  This example runs
+a MazuNAT + Monitor chain under an orchestrator with heartbeat failure
+detection, kills the NAT's server mid-run, and verifies that no flow's
+external port changed across the failover.
+
+Run:  python examples/nat_failover.py
+"""
+
+from collections import defaultdict
+
+from repro.core import FTCChain
+from repro.metrics import EgressRecorder
+from repro.middlebox import MazuNAT, Monitor
+from repro.net import TrafficGenerator, balanced_flows
+from repro.orchestration import Orchestrator
+from repro.sim import Simulator
+
+
+def main():
+    sim = Simulator()
+    egress = EgressRecorder(sim, keep_packets=True)
+
+    chain = FTCChain(
+        sim,
+        [MazuNAT(name="nat"), Monitor(name="mon", n_threads=2)],
+        f=1, deliver=egress, n_threads=2)
+    chain.start()
+
+    orchestrator = Orchestrator(sim, chain)
+    orchestrator.start()
+
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=5e5,
+                                 flows=balanced_flows(12, 2))
+
+    # Fail the NAT's server (position 0) at t = 10 ms; the orchestrator
+    # detects it via missed heartbeats and repairs the chain.
+    sim.schedule_callback(0.01, lambda: chain.fail_position(0))
+    sim.run(until=0.05)
+    generator.stop()
+    sim.run(until=0.055)
+
+    event = orchestrator.history[0]
+    print(f"failure detected after {event.detection_delay_s * 1e3:.1f} ms; "
+          f"recovery took {event.report.total_s * 1e3:.2f} ms")
+    print(f"released {chain.total_released()} / {chain.packets_in} packets")
+
+    # Group released packets by their ORIGINAL flow (the Monitor sees
+    # translated packets; we track the external source port per the
+    # translated flow's destination-side identity).
+    ports_per_connection = defaultdict(set)
+    for packet in egress.packets:
+        connection = (packet.flow.dst_ip, packet.flow.dst_port,
+                      packet.meta.get("gen"))
+        ports_per_connection[packet.flow.src_port].add(packet.flow.src_ip)
+
+    translations = {p.flow.src_port for p in egress.packets}
+    print(f"distinct external ports used: {len(translations)} "
+          f"(12 flows -> must be <= 12)")
+    assert len(translations) <= 12, "a flow was re-translated after failover!"
+    print("connection persistence held across the NAT failover.")
+
+
+if __name__ == "__main__":
+    main()

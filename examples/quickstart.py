@@ -1,0 +1,63 @@
+"""Quickstart: a fault-tolerant service function chain in ~40 lines.
+
+Builds the paper's Ch-Rec chain (Firewall -> Monitor -> SimpleNAT)
+with f=1 fault tolerance, pushes traffic through it, fails a server
+mid-run, recovers it, and shows that every released packet's state
+survived.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FTCChain, recover_positions
+from repro.metrics import EgressRecorder
+from repro.middlebox import ch_rec
+from repro.net import TrafficGenerator, balanced_flows
+from repro.sim import Simulator
+
+
+def main():
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+
+    # A 3-middlebox chain tolerating f=1 failure, 2 threads per server.
+    chain = FTCChain(sim, ch_rec(n_threads=2), f=1, deliver=egress,
+                     n_threads=2)
+    chain.start()
+
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                                 flows=balanced_flows(16, 2))
+
+    def fail_and_recover(sim):
+        yield sim.timeout(0.005)
+        print(f"[{sim.now * 1e3:6.2f} ms] failing the Monitor's server...")
+        chain.fail_position(1)
+        report = yield sim.process(recover_positions(chain, [1]))
+        print(f"[{sim.now * 1e3:6.2f} ms] recovered in "
+              f"{report.total_s * 1e3:.2f} ms "
+              f"(init {report.initialization_s * 1e3:.2f}, "
+              f"state {report.state_recovery_s * 1e3:.2f}, "
+              f"reroute {report.rerouting_s * 1e3:.2f})")
+
+    sim.process(fail_and_recover(sim))
+    sim.run(until=0.02)
+    generator.stop()
+    sim.run(until=0.025)  # drain
+
+    released = chain.total_released()
+    print(f"\noffered {chain.packets_in} packets, released {released} "
+          f"(in-flight packets at the failed server are lost, as expected)")
+    print(f"mean latency: {egress.latency.mean_us():.1f} us, "
+          f"p99: {egress.latency.percentile_us(99):.1f} us")
+
+    # Every released packet's Monitor increment is present at BOTH
+    # replicas of the Monitor's replication group.
+    monitor = chain.middleboxes[1]
+    for position in chain.group_positions(1):
+        store = chain.store_of("monitor", position)
+        count = monitor.total_count(store)
+        print(f"monitor count at position {position}: {count} "
+              f"(>= released: {count >= released})")
+
+
+if __name__ == "__main__":
+    main()

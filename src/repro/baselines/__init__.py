@@ -1,0 +1,7 @@
+"""Comparison systems: NF (no FT), FTMB [51], FTMB+Snapshot, remote store."""
+
+from .ftmb import FTMBChain
+from .nf import NFChain
+from .remote_store import RemoteStoreChain
+
+__all__ = ["FTMBChain", "NFChain", "RemoteStoreChain"]

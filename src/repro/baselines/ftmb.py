@@ -1,0 +1,264 @@
+"""FTMB baseline: our re-implementation of Rollback-Recovery for
+Middleboxes [51], as the paper's evaluation builds it (§7.1).
+
+Per middlebox, FTMB dedicates the middlebox server (master, M) plus a
+logger server hosting the input logger (IL) and output logger (OL) on
+its two NICs.  Packets traverse IL -> M -> OL.  M records packet
+access logs (PALs) for every shared-state access -- reads included --
+and transmits them to OL in separate messages; OL releases a data
+packet only once its PAL has arrived.
+
+Following the paper's prototype simplifications: PALs are assumed
+delivered on the first attempt, OL keeps only the latest PALs, and no
+snapshots are taken (making this an upper bound on FTMB performance).
+:class:`FTMBChain` with ``snapshots=True`` adds §7.4's
+FTMB+Snapshot behaviour: every ``snapshot_period`` each master stalls
+for ``snapshot_stall`` while a consistent snapshot is captured.
+
+The famous consequence of per-packet PAL messages: the OL NIC's packet
+engine handles two messages per data packet, halving the sustainable
+rate to ~5.26 Mpps (§7.3) -- in this model that ceiling *emerges* from
+the shared NIC rate limiter rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..core.depvec import ReplicationState
+from ..core.runtime import MiddleboxRuntime
+from ..middlebox.base import DROP, Middlebox
+from ..net.packet import Packet
+from ..net.topology import Network
+from ..sim import CancelledError, Interrupt, Process, RandomStreams, Simulator
+
+__all__ = ["FTMBChain"]
+
+#: Cycles the IL/OL spend per message (receive, log, forward).
+LOGGER_CYCLES = 120.0
+
+#: Wire size of one PAL message (header + a few access records).
+PAL_BASE_BYTES = 64
+PAL_ENTRY_BYTES = 16
+
+
+class _PALTracker:
+    """OL-side bookkeeping: hold data packets until their PAL arrives."""
+
+    def __init__(self):
+        self.seen: set = set()
+        self.waiting: Dict[int, Packet] = {}
+
+    def pal_arrived(self, pid: int) -> Optional[Packet]:
+        self.seen.add(pid)
+        return self.waiting.pop(pid, None)
+
+    def data_arrived(self, packet: Packet) -> bool:
+        """True if the packet may be forwarded immediately."""
+        if packet.pid in self.seen:
+            self.seen.discard(packet.pid)  # "only the last PAL" kept
+            return True
+        self.waiting[packet.pid] = packet
+        return False
+
+
+class FTMBChain:
+    """A chain of FTMB-protected middleboxes (IL -> M -> OL each)."""
+
+    def __init__(self, sim: Simulator, middleboxes: Sequence[Middlebox],
+                 deliver: Callable[[Packet], None] = lambda p: None,
+                 costs: CostModel = DEFAULT_COSTS,
+                 net: Optional[Network] = None, n_threads: int = 8,
+                 seed: int = 0, snapshots: bool = False, name: str = "ftmb"):
+        if not middleboxes:
+            raise ValueError("a chain needs at least one middlebox")
+        self.sim = sim
+        self.middleboxes = list(middleboxes)
+        self.deliver = deliver
+        self.costs = costs
+        self.n_threads = n_threads
+        self.snapshots = snapshots
+        self.name = name
+        self.streams = RandomStreams(seed)
+        self.net = net or Network(sim, hop_delay_s=costs.hop_delay_s,
+                                  bandwidth_bps=costs.bandwidth_bps)
+
+        self.il_servers = []
+        self.master_servers = []
+        self.ol_servers = []
+        self.runtimes: List[MiddleboxRuntime] = []
+        self.trackers: List[Dict[int, _PALTracker]] = []
+        self.pals_sent = 0
+        self.released = 0
+        self.packets_in = 0
+        self._snapshot_offset: List[float] = []
+
+        for index, mbox in enumerate(middleboxes):
+            il = self.net.add_server(f"{name}-il{index}", n_cores=n_threads,
+                                     cpu_hz=costs.cpu_hz, nic_pps=costs.nic_pps,
+                                     nic_queues=n_threads,
+                                     nic_queue_depth=costs.nic_queue_depth)
+            master = self.net.add_server(f"{name}-m{index}", n_cores=n_threads,
+                                         cpu_hz=costs.cpu_hz,
+                                         nic_pps=costs.nic_pps,
+                                         nic_queues=n_threads,
+                                         nic_queue_depth=costs.nic_queue_depth)
+            ol = self.net.add_server(f"{name}-ol{index}", n_cores=n_threads,
+                                     cpu_hz=costs.cpu_hz, nic_pps=costs.nic_pps,
+                                     nic_queues=n_threads,
+                                     nic_queue_depth=costs.nic_queue_depth)
+            self.il_servers.append(il)
+            self.master_servers.append(master)
+            self.ol_servers.append(ol)
+            state = ReplicationState(mbox.name, costs.n_partitions)
+            self.runtimes.append(MiddleboxRuntime(
+                sim, mbox, state, costs=costs, streams=self.streams,
+                replicate=False,
+                extra_critical_cycles=costs.ftmb_pal_crit_cycles))
+            self.trackers.append({tid: _PALTracker()
+                                  for tid in range(n_threads)})
+            self.net.connect(il.name, master.name)
+            self.net.connect(master.name, ol.name)
+            if index > 0:
+                self.net.connect(self.ol_servers[index - 1].name, il.name)
+            # Stagger snapshot phases across masters (§7.4: snapshots at
+            # different middleboxes do not align).
+            self._snapshot_offset.append(self.streams.uniform(
+                f"snapshot-offset/{index}", 0.0, costs.snapshot_period_s))
+
+        self.workers: List[Process] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(len(self.middleboxes)):
+            for tid in range(self.n_threads):
+                self.workers.append(self.sim.process(
+                    self._il_worker(index, tid), name=f"{self.name}-il{index}"))
+                self.workers.append(self.sim.process(
+                    self._master_worker(index, tid),
+                    name=f"{self.name}-m{index}"))
+                self.workers.append(self.sim.process(
+                    self._ol_worker(index, tid), name=f"{self.name}-ol{index}"))
+
+    def stop(self) -> None:
+        for worker in self.workers:
+            if worker.is_alive:
+                worker.interrupt("stopped")
+        self.workers = []
+
+    def ingress(self, packet: Packet) -> None:
+        if packet.created_at == 0.0:
+            packet.created_at = self.sim.now
+        self.packets_in += 1
+        self.net.deliver_external(self.il_servers[0].name, packet)
+
+    def total_released(self) -> int:
+        return self.released
+
+    def store_of(self, index: int):
+        return self.runtimes[index].state.store
+
+    # -- workers ----------------------------------------------------------------
+
+    def _logger_cost(self, packet: Packet) -> float:
+        cycles = LOGGER_CYCLES + self.costs.per_wire_byte_cycles * packet.wire_size
+        return self.costs.cycles_to_seconds(cycles)
+
+    def _il_worker(self, index: int, thread_id: int):
+        """Input logger: record the packet, forward to the master."""
+        queue = self.il_servers[index].nic.queues[thread_id]
+        master = self.master_servers[index].name
+        il = self.il_servers[index].name
+        try:
+            while True:
+                packet = yield queue.get()
+                yield self.sim.timeout(self._logger_cost(packet))
+                self.net.send(il, master, packet)
+        except (Interrupt, CancelledError):
+            return
+
+    def _master_worker(self, index: int, thread_id: int):
+        """The middlebox master: process, emit PALs, forward to OL."""
+        queue = self.master_servers[index].nic.queues[thread_id]
+        master = self.master_servers[index].name
+        ol = self.ol_servers[index].name
+        runtime = self.runtimes[index]
+        try:
+            while True:
+                packet = yield queue.get()
+                if self.snapshots:
+                    yield from self._maybe_snapshot_stall(index)
+                wire = self.costs.per_wire_byte_cycles * packet.wire_size
+                yield self.sim.timeout(self.costs.cycles_to_seconds(wire))
+                verdict, _log, result = yield from runtime.process(
+                    packet, thread_id, want_result=True)
+                if verdict is DROP:
+                    continue
+                out = verdict if isinstance(verdict, Packet) else packet
+                if result is not None:
+                    # One PAL message per packet that touched shared
+                    # state (reads included -- FTMB logs them, §7.3).
+                    accesses = len(result.read_keys | set(result.writes))
+                    if accesses:
+                        yield self.sim.timeout(self.costs.cycles_to_seconds(
+                            self.costs.ftmb_pal_tx_cycles))
+                        pal = Packet(flow=out.flow,
+                                     size=PAL_BASE_BYTES +
+                                     PAL_ENTRY_BYTES * accesses,
+                                     kind="pal", created_at=self.sim.now)
+                        pal.meta["pal_for"] = out.pid
+                        pal.meta["mbox_index"] = index
+                        self.pals_sent += 1
+                        self.net.send(master, ol, pal)
+                    else:
+                        out.meta["no_pal"] = True
+                else:
+                    out.meta["no_pal"] = True  # stateless middlebox
+                self.net.send(master, ol, out)
+        except (Interrupt, CancelledError):
+            return
+
+    def _maybe_snapshot_stall(self, index: int):
+        """FTMB+Snapshot: stall while a snapshot is captured (§7.4).
+
+        Snapshot windows repeat every ``snapshot_period_s`` for
+        ``snapshot_stall_s``; every master thread entering processing
+        during a window waits until the window closes (no packet is
+        processed during a snapshot).
+        """
+        period = self.costs.snapshot_period_s
+        stall = self.costs.snapshot_stall_s
+        phase = (self.sim.now - self._snapshot_offset[index]) % period
+        if phase < stall:
+            yield self.sim.timeout(stall - phase)
+        return
+
+    def _ol_worker(self, index: int, thread_id: int):
+        """Output logger: release data only after its PAL arrived."""
+        queue = self.ol_servers[index].nic.queues[thread_id]
+        ol = self.ol_servers[index].name
+        tracker = self.trackers[index][thread_id]
+        is_last = index == len(self.middleboxes) - 1
+        try:
+            while True:
+                packet = yield queue.get()
+                yield self.sim.timeout(self._logger_cost(packet))
+                if packet.kind == "pal":
+                    freed = tracker.pal_arrived(packet.meta["pal_for"])
+                    if freed is not None:
+                        self._ol_forward(index, is_last, ol, freed)
+                    continue
+                if packet.meta.pop("no_pal", None) or tracker.data_arrived(packet):
+                    self._ol_forward(index, is_last, ol, packet)
+        except (Interrupt, CancelledError):
+            return
+
+    def _ol_forward(self, index: int, is_last: bool, ol: str,
+                    packet: Packet) -> None:
+        if is_last:
+            self.released += 1
+            self.deliver(packet)
+        else:
+            self.net.send(ol, self.il_servers[index + 1].name, packet)

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows::
+
+    python -m repro list                    # available middleboxes/systems
+    python -m repro run --chain monitor,monitor --system ftc --rate 2e6
+    python -m repro experiment fig9         # regenerate a table/figure
+
+``run`` builds the requested chain under the requested system, drives
+it for a simulated duration, and prints throughput/latency plus the
+per-middlebox state summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .experiments import systems as _systems
+from .metrics import EgressRecorder, format_table
+from .middlebox import available, create
+from .net import TrafficGenerator, balanced_flows
+from .sim import Simulator
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "fig12", "fig13", "ablations", "calibration"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault Tolerant Service Function Chaining (SIGCOMM'20) "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list middlebox kinds, systems, experiments")
+
+    run = sub.add_parser("run", help="simulate a chain under a system")
+    run.add_argument("--chain", default="monitor,monitor",
+                     help="comma-separated middlebox kinds (see 'list')")
+    run.add_argument("--system", default="ftc",
+                     help="nf | ftc | ftmb | ftmb+snapshot | remote-store")
+    run.add_argument("--rate", type=float, default=1e6,
+                     help="offered load in packets/second")
+    run.add_argument("--duration", type=float, default=0.01,
+                     help="simulated seconds of traffic")
+    run.add_argument("--threads", type=int, default=8,
+                     help="worker threads per server")
+    run.add_argument("-f", type=int, default=1, dest="failures",
+                     help="failures to tolerate (FTC only)")
+    run.add_argument("--packet-size", type=int, default=256)
+    run.add_argument("--flows", type=int, default=64)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--fail-at", type=float, default=None,
+                     help="inject a failure at this time (FTC only)")
+    run.add_argument("--fail-position", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("middlebox kinds:")
+    for kind in available():
+        print(f"  {kind}")
+    print("\nsystems: nf, ftc, ftmb, ftmb+snapshot, remote-store")
+    print("\nexperiments:", ", ".join(_EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    middleboxes = [create(kind.strip(), name=f"{kind.strip()}{i}")
+                   for i, kind in enumerate(args.chain.split(","))]
+    system = _systems.build_system(
+        args.system, sim, middleboxes, egress, n_threads=args.threads,
+        f=args.failures, seed=args.seed)
+    system.start()
+    generator = TrafficGenerator(
+        sim, system.ingress, rate_pps=args.rate,
+        flows=balanced_flows(args.flows, args.threads),
+        packet_size=args.packet_size)
+
+    if args.fail_at is not None:
+        if not hasattr(system, "fail_position"):
+            print("--fail-at requires --system ftc", file=sys.stderr)
+            return 2
+        from .core import recover_positions
+
+        def chaos(sim):
+            yield sim.timeout(args.fail_at)
+            system.fail_position(args.fail_position)
+            report = yield sim.process(
+                recover_positions(system, [args.fail_position]))
+            print(f"[{sim.now * 1e3:.2f} ms] recovered position "
+                  f"{args.fail_position} in {report.total_s * 1e3:.2f} ms")
+
+        sim.process(chaos(sim))
+
+    warmup = min(args.duration * 0.2, 1e-3)
+    sim.run(until=warmup)
+    egress.throughput.start_window()
+    egress.latency.start_after(warmup)
+    sim.run(until=args.duration)
+    generator.stop()
+    sim.run(until=args.duration + 0.5e-3)
+
+    print(f"\n{args.system.upper()} chain: "
+          f"{' -> '.join(m.name for m in middleboxes)}")
+    print(f"offered {generator.sent} packets at {args.rate:g} pps; "
+          f"released {system.total_released()}")
+    print(f"throughput: {egress.throughput.rate_mpps():.3f} Mpps"
+          f"  ({egress.throughput.rate_gbps():.2f} Gbps)")
+    if len(egress.latency):
+        print(f"latency: mean {egress.latency.mean_us():.1f} us, "
+              f"p50 {egress.latency.percentile_us(50):.1f}, "
+              f"p99 {egress.latency.percentile_us(99):.1f}")
+    rows = [(m.name, m.describe(), m.packets_processed, m.packets_dropped)
+            for m in middleboxes]
+    print()
+    print(format_table(["middlebox", "function", "processed", "dropped"],
+                       rows))
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    import importlib
+    module = importlib.import_module(f"repro.experiments.{name}")
+    module.main()
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""FTC core: the paper's primary contribution.
+
+Public surface: build an :class:`FTCChain` over a list of middleboxes,
+feed it packets via ``chain.ingress``, and receive released packets in
+your ``deliver`` callable once their state updates are replicated f+1
+times.  Failure injection and recovery are exposed for orchestrators
+(`repro.orchestration`) and tests.
+"""
+
+from .buffer import Buffer
+from .chain import FTCChain
+from .costs import CostModel, DEFAULT_COSTS
+from .depvec import DependencyVector, ProtocolError, ReplicationState
+from .forwarder import Forwarder
+from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
+from .recovery import RecoveryReport, UnrecoverableError, recover_positions
+from .replica import Replica
+from .runtime import CycleCounters, MiddleboxRuntime
+from .scaling import RescaleReport, rescale_position
+
+__all__ = [
+    "Buffer",
+    "CommitVector",
+    "CostModel",
+    "CycleCounters",
+    "DEFAULT_COSTS",
+    "DependencyVector",
+    "FTCChain",
+    "Forwarder",
+    "MiddleboxRuntime",
+    "PiggybackLog",
+    "PiggybackMessage",
+    "ProtocolError",
+    "RecoveryReport",
+    "Replica",
+    "RescaleReport",
+    "ReplicationState",
+    "UnrecoverableError",
+    "recover_positions",
+    "rescale_position",
+    "value_bytes",
+]

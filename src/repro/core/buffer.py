@@ -1,0 +1,165 @@
+"""The buffer element at the chain egress (§5).
+
+The buffer withholds a packet from release until the state updates of
+every middlebox that processed it are replicated f+1 times.  For
+middleboxes whose replication group wraps to the beginning of the
+chain, the packet's logs are still unreplicated when it arrives here;
+the buffer keeps those logs flowing by feeding them back to the
+forwarder and releases the packet once later commit vectors cover its
+dependency vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.packet import FlowKey, Packet
+from ..sim import Simulator
+from .costs import CostModel, DEFAULT_COSTS
+from .piggyback import CommitVector, PiggybackLog, PiggybackMessage
+
+__all__ = ["Buffer"]
+
+_FEEDBACK_FLOW = FlowKey(0x0A0000FD, 0x0A0000FC, 0, 0, 0)
+
+#: Minimum spacing between feedback packets: under load many packets'
+#: state shares one feedback message (real deployments batch exactly
+#: like this to keep the 10 GbE dissemination link's pps down).
+_FEEDBACK_MIN_INTERVAL_S = 0.5e-6
+
+
+class Buffer:
+    """Egress element: release gating, state feedback, commit tracking."""
+
+    def __init__(self, sim: Simulator, deliver: Callable[[Packet], None],
+                 send_feedback: Callable[[Packet], None],
+                 costs: CostModel = DEFAULT_COSTS, name: str = "buffer"):
+        self.sim = sim
+        self.deliver = deliver
+        self.send_feedback = send_feedback
+        self.costs = costs
+        self.name = name
+        self.commit_floor: Dict[str, Dict[int, int]] = {}
+        #: Floors already disseminated to the forwarder; feedback
+        #: packets carry only deltas so the 10 GbE path is not wasted
+        #: re-sending full vectors (which saturates it at high f).
+        self._commit_sent: Dict[str, Dict[int, int]] = {}
+        self.held: List[Tuple[Packet, Dict[str, Dict[int, int]]]] = []
+        self.feedback_logs: List[PiggybackLog] = []
+        self._feedback_dirty = False
+        self._feedback_kick = sim.event()
+        self.released = 0
+        self.packets_seen = 0
+        self.cycles_spent = 0.0
+        self.held_peak = 0
+        self.propagating_consumed = 0
+        self._alive = True
+        self._sender = sim.process(self._feedback_loop(), name=f"{name}/feedback")
+
+    # -- per-packet handling (called by the last replica's worker) -----------
+
+    def handle(self, packet: Packet, message: PiggybackMessage) -> float:
+        """Process one packet at chain egress; returns CPU cycles spent."""
+        self.packets_seen += 1
+        cycles = self.costs.buffer_cycles
+        # 1. Absorb commit vectors (including any this packet carried
+        #    from the final tail) before evaluating release conditions.
+        for mbox, commit in message.commits.items():
+            floor = self.commit_floor.setdefault(mbox, {})
+            commit.merge_into(floor)
+        if message.commits:
+            self._feedback_dirty = True
+
+        # 2. Any logs still aboard belong to wrap-around groups: they
+        #    define this packet's release requirements and must be fed
+        #    back to the forwarder to continue replication.
+        requirements: Dict[str, Dict[int, int]] = {}
+        for mbox in list(message.logs):
+            for log in message.take_logs(mbox):
+                cycles += self.costs.piggyback_attach_cycles
+                if log.packet_id == packet.pid and not log.is_noop:
+                    requirements[mbox] = dict(log.depvec)
+                self.feedback_logs.append(log)
+                self._feedback_dirty = True
+
+        if self._feedback_dirty and not self._feedback_kick.triggered:
+            self._feedback_kick.succeed()
+
+        # 3. Release logic.
+        if packet.kind == "propagating":
+            self.propagating_consumed += 1
+        elif self._satisfied(requirements):
+            self._release(packet)
+        else:
+            self.held.append((packet, requirements))
+            self.held_peak = max(self.held_peak, len(self.held))
+        self._scan_held()
+        self.cycles_spent += cycles
+        return cycles
+
+    # -- release machinery --------------------------------------------------------
+
+    def _satisfied(self, requirements: Dict[str, Dict[int, int]]) -> bool:
+        for mbox, depvec in requirements.items():
+            floor = self.commit_floor.get(mbox)
+            if floor is None:
+                return False
+            if not CommitVector(mbox, floor).covers(depvec):
+                return False
+        return True
+
+    def _release(self, packet: Packet) -> None:
+        packet.detach("ftc")
+        self.released += 1
+        self.deliver(packet)
+
+    def _scan_held(self) -> None:
+        """Release the FIFO prefix of held packets that is now covered.
+
+        Commit vectors advance monotonically in packet order, so
+        scanning from the front and stopping at the first unsatisfied
+        packet is O(releases) amortized -- essential when most
+        replication groups wrap (large f) and thousands of packets may
+        be held at once.  A blocked front packet only ever delays later
+        ones by (at most) the commit that unblocks it.
+        """
+        released_prefix = 0
+        for packet, requirements in self.held:
+            if not self._satisfied(requirements):
+                break
+            self._release(packet)
+            released_prefix += 1
+        if released_prefix:
+            del self.held[:released_prefix]
+
+    # -- feedback to the forwarder ---------------------------------------------
+
+    def stop(self) -> None:
+        self._alive = False
+        if not self._feedback_kick.triggered:
+            self._feedback_kick.succeed()
+
+    def _feedback_loop(self):
+        while self._alive:
+            if not self._feedback_dirty:
+                self._feedback_kick = self.sim.event()
+                yield self._feedback_kick
+                if not self._alive:
+                    return
+            self._feedback_dirty = False
+            packet = Packet(flow=_FEEDBACK_FLOW, size=64, kind="feedback",
+                            created_at=self.sim.now)
+            message = PiggybackMessage(self.costs)
+            message.add_logs(self.feedback_logs)
+            self.feedback_logs = []
+            for mbox, floor in self.commit_floor.items():
+                sent = self._commit_sent.setdefault(mbox, {})
+                delta = {p: s for p, s in floor.items() if s != sent.get(p)}
+                if delta:
+                    message.set_commit(CommitVector(mbox, delta))
+                    sent.update(delta)
+            packet.attach("ftc", message)
+            self.send_feedback(packet)
+            yield self.sim.timeout(max(
+                _FEEDBACK_MIN_INTERVAL_S,
+                packet.wire_size * 8.0 / self.costs.feedback_bandwidth_bps))

@@ -1,0 +1,253 @@
+"""FTC chain assembly (§5).
+
+:class:`FTCChain` wires everything together: one server + replica per
+chain position, the forwarder on the first server, the buffer on the
+last, the 10 GbE feedback path between them, and the replication-group
+layout over the logical ring.  It also carries the failure/recovery
+hooks the orchestrator drives.
+
+If the chain is shorter than f+1 middleboxes, extension positions with
+no middlebox are added before the buffer, exactly as §5.1 prescribes --
+this is also how the single-middlebox protocol of §4 deploys (one
+middlebox + f pure replicas).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..middlebox.base import Middlebox
+from ..net.packet import Packet
+from ..net.topology import Network
+from ..sim import AnyOf, RandomStreams, RateLimiter, Simulator
+from .buffer import Buffer
+from .costs import CostModel, DEFAULT_COSTS
+from .forwarder import Forwarder
+from .replica import Replica
+
+__all__ = ["FTCChain"]
+
+#: Give up on a control RPC to a (possibly dead) peer after this long.
+CONTROL_TIMEOUT_S = 2e-3
+
+
+class FTCChain:
+    """A deployed fault-tolerant service function chain."""
+
+    def __init__(self, sim: Simulator, middleboxes: Sequence[Middlebox],
+                 f: int = 1, deliver: Callable[[Packet], None] = lambda p: None,
+                 costs: CostModel = DEFAULT_COSTS,
+                 net: Optional[Network] = None, n_threads: int = 8,
+                 seed: int = 0, use_htm: bool = False, name: str = "ftc"):
+        if not middleboxes:
+            raise ValueError("a chain needs at least one middlebox")
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        names = [m.name for m in middleboxes]
+        if len(set(names)) != len(names):
+            raise ValueError("middlebox names must be unique within a chain")
+        self.sim = sim
+        self.middleboxes = list(middleboxes)
+        self.f = f
+        self.costs = costs
+        self.n_threads = n_threads
+        self.name = name
+        self.use_htm = use_htm
+        self.streams = RandomStreams(seed)
+        self.deliver = deliver
+
+        self.n_mboxes = len(middleboxes)
+        #: §5.1: extend short chains with pure replicas before the buffer.
+        self.n_positions = max(self.n_mboxes, f + 1)
+
+        self.net = net or Network(sim, hop_delay_s=costs.hop_delay_s,
+                                  bandwidth_bps=costs.bandwidth_bps)
+        #: Optional region per position (multi-region deployments);
+        #: respawned replicas land in the failed position's region.
+        self.region_plan: Optional[List[str]] = None
+        self.route: List[str] = []
+        self._generation = 0
+        for position in range(self.n_positions):
+            server = self._new_server(position)
+            self.route.append(server.name)
+        for position in range(self.n_positions - 1):
+            self.net.connect(self.route[position], self.route[position + 1])
+
+        self.forwarder = Forwarder(
+            sim, inject=lambda pkt: self.replica_at(0).enqueue_local(pkt),
+            costs=costs, name=f"{name}/forwarder")
+        self._feedback_serializer = RateLimiter(
+            sim, rate=1e12,
+            cost_fn=lambda pkt: pkt.wire_size * 8.0 / costs.feedback_bandwidth_bps,
+            name=f"{name}/feedback-link")
+        self.buffer = Buffer(sim, deliver=self._deliver,
+                             send_feedback=self._send_feedback,
+                             costs=costs, name=f"{name}/buffer")
+
+        self.replicas: List[Replica] = [
+            Replica(sim, self, position, self.net.servers[self.route[position]],
+                    self.middleboxes[position] if position < self.n_mboxes else None,
+                    costs=costs, streams=self.streams, use_htm=use_htm)
+            for position in range(self.n_positions)
+        ]
+        self.packets_in = 0
+        self.feedback_lost = 0
+        self.buffer_packets_lost = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    def _new_server(self, position: int):
+        self._generation += 1
+        server = self.net.add_server(
+            f"{self.name}-p{position}-g{self._generation}",
+            n_cores=self.n_threads, cpu_hz=self.costs.cpu_hz,
+            nic_pps=self.costs.nic_pps, nic_queues=self.n_threads,
+            nic_queue_depth=self.costs.nic_queue_depth)
+        if self.region_plan is not None and position < len(self.region_plan):
+            server.region = self.region_plan[position]
+        return server
+
+    # -- replication-group geometry (§5) ---------------------------------------
+
+    def group_positions(self, mbox_index: int) -> List[int]:
+        """The f+1 ring positions replicating middlebox ``mbox_index``."""
+        return [(mbox_index + k) % self.n_positions for k in range(self.f + 1)]
+
+    def tail_position(self, mbox_index: int) -> int:
+        return (mbox_index + self.f) % self.n_positions
+
+    def member_mboxes(self, position: int) -> List[Tuple[int, str]]:
+        """(index, name) of middleboxes whose group includes ``position``."""
+        members = []
+        for index, mbox in enumerate(self.middleboxes):
+            if position in self.group_positions(index):
+                members.append((index, mbox.name))
+        return members
+
+    def predecessor_in_group(self, mbox_index: int, position: int) -> int:
+        """The group member immediately before ``position`` (§5.2)."""
+        group = self.group_positions(mbox_index)
+        where = group.index(position)
+        if where == 0:
+            raise ValueError("the head has no predecessor in its group")
+        return group[where - 1]
+
+    def successor_in_group(self, mbox_index: int, position: int) -> int:
+        group = self.group_positions(mbox_index)
+        where = group.index(position)
+        if where == len(group) - 1:
+            raise ValueError("the tail has no successor in its group")
+        return group[where + 1]
+
+    def mbox_index(self, mbox_name: str) -> int:
+        for index, mbox in enumerate(self.middleboxes):
+            if mbox.name == mbox_name:
+                return index
+        raise KeyError(mbox_name)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def replica_at(self, position: int) -> Replica:
+        return self.replicas[position]
+
+    def server_at(self, position: int):
+        return self.net.servers[self.route[position]]
+
+    def store_of(self, mbox_name: str, position: int):
+        """A position's state store for one middlebox (tests/inspection)."""
+        return self.replicas[position].states[mbox_name].store
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        for replica in self.replicas:
+            replica.start()
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+        self.forwarder.stop()
+        self.buffer.stop()
+
+    # -- data plane ------------------------------------------------------------------
+
+    def ingress(self, packet: Packet) -> None:
+        """Entry point for traffic generators."""
+        if packet.created_at == 0.0:
+            packet.created_at = self.sim.now
+        self.packets_in += 1
+        self.net.deliver_external(self.route[0], packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.deliver(packet)
+
+    def send_to_position(self, src: int, dst: int, packet: Packet) -> None:
+        src_name, dst_name = self.route[src], self.route[dst]
+        self.net.connect(src_name, dst_name)
+        self.net.send(src_name, dst_name, packet)
+
+    def _send_feedback(self, packet: Packet) -> None:
+        """Buffer -> forwarder dissemination over the 10 GbE path."""
+        first = self.server_at(0)
+        last = self.server_at(self.n_positions - 1)
+        if first.failed or last.failed:
+            self.feedback_lost += 1
+            return
+        delay = (self._feedback_serializer.admission_delay(packet) +
+                 self.costs.hop_delay_s)
+        message = packet.detach("ftc")
+
+        def arrive():
+            if self.server_at(0).failed:
+                self.feedback_lost += 1
+                return
+            self.forwarder.absorb_feedback(message)
+
+        self.sim.schedule_callback(delay, arrive)
+
+    # -- retransmission support -------------------------------------------------------
+
+    def fetch_retained_logs(self, position: int, mbox_name: str):
+        """Generator: ask the predecessor in the group for retained logs."""
+        mbox_index = self.mbox_index(mbox_name)
+        pred = self.predecessor_in_group(mbox_index, position)
+        pred_replica = self.replica_at(pred)
+        pred_server = self.server_at(pred)
+
+        def handler():
+            if pred_server.failed:
+                return []
+            state = pred_replica.states.get(mbox_name)
+            return state.unpruned_logs() if state is not None else []
+
+        call = self.net.control_call(
+            self.route[position], self.route[pred], handler,
+            response_bytes=4096)
+        deadline = self.sim.timeout(CONTROL_TIMEOUT_S)
+        yield AnyOf(self.sim, [call, deadline])
+        if call.processed and call.ok:
+            return call.value or []
+        return []
+
+    # -- failure injection --------------------------------------------------------------
+
+    def fail_position(self, position: int) -> None:
+        """Fail-stop the server at ``position`` (and its replica)."""
+        server = self.server_at(position)
+        server.fail()
+        self.replica_at(position).stop()
+        if position == 0:
+            # The forwarder's soft state dies with the first server.
+            self.forwarder.pending_logs.clear()
+            self.forwarder.pending_commits.clear()
+            self.forwarder._dirty_commits.clear()
+        if position == self.n_positions - 1:
+            # The buffer's held packets die with the last server.
+            self.buffer_packets_lost += len(self.buffer.held)
+            self.buffer.held.clear()
+            self.buffer.feedback_logs.clear()
+
+    # -- statistics -------------------------------------------------------------------
+
+    def total_released(self) -> int:
+        return self.buffer.released

@@ -1,0 +1,109 @@
+"""The forwarder element at the chain ingress (§5).
+
+The forwarder receives incoming packets from the outside world and
+piggyback messages fed back from the buffer; it adds the pending state
+updates (logs of the last f middleboxes) and commit vectors to
+incoming packets before the first replica processes them.  When no
+traffic arrives for a while, a timer emits a *propagating packet* so
+state keeps flowing (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..net.packet import FlowKey, Packet
+from ..sim import Simulator
+from .costs import CostModel, DEFAULT_COSTS
+from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
+
+__all__ = ["Forwarder"]
+
+#: Flow key used by propagating packets (never hits a middlebox).
+_PROPAGATING_FLOW = FlowKey(0x0A0000FE, 0x0A0000FF, 0, 0, 0)
+
+#: Wire size of a propagating packet before its piggyback message.
+_PROPAGATING_SIZE = 64
+
+
+class Forwarder:
+    """Ingress element: merges fed-back state onto incoming packets."""
+
+    def __init__(self, sim: Simulator, inject: Callable[[Packet], None],
+                 costs: CostModel = DEFAULT_COSTS, name: str = "forwarder"):
+        self.sim = sim
+        self.inject = inject  # hands a propagating packet to replica 0
+        self.costs = costs
+        self.name = name
+        self.pending_logs: List[PiggybackLog] = []
+        self.pending_commits: Dict[str, Dict[int, int]] = {}
+        self._dirty_commits: Set[str] = set()
+        self.last_rx = 0.0
+        self.packets_seen = 0
+        self.cycles_spent = 0.0
+        self.propagating_sent = 0
+        self.feedback_received = 0
+        self._alive = True
+        self._timer = sim.process(self._timer_loop(), name=f"{name}/timer")
+
+    # -- feedback ingestion (from the buffer, over the 10 GbE link) ----------
+
+    def absorb_feedback(self, message: PiggybackMessage) -> None:
+        self.feedback_received += 1
+        for logs in message.logs.values():
+            self.pending_logs.extend(logs)
+        for mbox, commit in message.commits.items():
+            floor = self.pending_commits.setdefault(mbox, {})
+            before = dict(floor)
+            commit.merge_into(floor)
+            if floor != before:
+                self._dirty_commits.add(mbox)
+
+    # -- per-packet attach (called by replica 0's worker) ----------------------
+
+    def attach(self, message: PiggybackMessage) -> float:
+        """Move pending state onto a packet's message; returns CPU cycles."""
+        self.packets_seen += 1
+        self.last_rx = self.sim.now
+        cycles = self.costs.forwarder_cycles
+        if self.pending_logs:
+            for log in self.pending_logs:
+                cycles += (self.costs.piggyback_attach_cycles +
+                           self.costs.per_state_byte_cycles *
+                           sum(value_bytes(v, self.costs)
+                               for v in log.updates.values()))
+                message.add_log(log)
+            self.pending_logs = []
+        for mbox in self._dirty_commits:
+            message.set_commit(CommitVector(mbox, dict(self.pending_commits[mbox])))
+        self._dirty_commits.clear()
+        self.cycles_spent += cycles
+        return cycles
+
+    # -- propagating packets (§5.1) -----------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending_logs or self._dirty_commits)
+
+    def stop(self) -> None:
+        self._alive = False
+
+    def _timer_loop(self):
+        timeout = self.costs.propagation_timeout_s
+        while self._alive:
+            yield self.sim.timeout(timeout)
+            if not self._alive:
+                return
+            idle = self.sim.now - self.last_rx
+            if idle >= timeout and self.has_pending:
+                self._send_propagating()
+
+    def _send_propagating(self) -> None:
+        packet = Packet(flow=_PROPAGATING_FLOW, size=_PROPAGATING_SIZE,
+                        kind="propagating", created_at=self.sim.now)
+        message = PiggybackMessage(self.costs)
+        self.attach(message)
+        packet.attach("ftc", message)
+        self.propagating_sent += 1
+        self.inject(packet)

@@ -1,0 +1,167 @@
+"""Piggyback logs, commit vectors, and piggyback messages (§4.1, §5.1).
+
+A *piggyback log* carries one packet transaction's state updates for
+one middlebox, ordered by a (sparse) dependency vector.  A *commit
+vector* is a tail's announcement that everything up to its MAX vector
+has been replicated f+1 times.  A *piggyback message* is the container
+a packet actually carries: a list of in-flight logs per middlebox plus
+the latest commit vector per middlebox.
+
+Byte sizes are estimated from the cost model's serialization constants
+so wire and copy costs reflect what a real implementation would pay
+(FTC appends the message after the payload and adjusts the IP length).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .costs import CostModel, DEFAULT_COSTS
+
+__all__ = ["PiggybackLog", "CommitVector", "PiggybackMessage", "value_bytes"]
+
+_log_ids = itertools.count(1)
+
+
+def value_bytes(value: Any, costs: CostModel = DEFAULT_COSTS) -> int:
+    """Estimate the serialized size of one state value."""
+    if value is None:
+        return 1
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (tuple, list)):
+        return sum(value_bytes(v, costs) for v in value)
+    if isinstance(value, dict):
+        return sum(costs.key_bytes + value_bytes(v, costs)
+                   for v in value.values())
+    # Flow keys and other small records serialize to ~a 5-tuple.
+    return costs.key_bytes
+
+
+@dataclass
+class PiggybackLog:
+    """State updates of one packet transaction at one middlebox.
+
+    ``depvec`` maps accessed partition -> pre-increment sequence
+    number; partitions absent from it are "don't care" (§4.3).  A
+    read-only transaction produces a no-op log (empty depvec, no
+    updates) which replicas skip over.
+    """
+
+    mbox: str
+    depvec: Dict[int, int] = field(default_factory=dict)
+    updates: Dict[Hashable, Any] = field(default_factory=dict)
+    packet_id: int = 0
+    log_id: int = field(default_factory=lambda: next(_log_ids))
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.depvec and not self.updates
+
+    def byte_size(self, costs: CostModel = DEFAULT_COSTS) -> int:
+        size = costs.log_header_bytes
+        size += len(self.depvec) * costs.depvec_entry_bytes
+        for key, value in self.updates.items():
+            size += costs.key_bytes + value_bytes(value, costs)
+        return size
+
+    def __repr__(self):
+        return (f"<PBLog {self.mbox} vec={self.depvec} "
+                f"updates={len(self.updates)}>")
+
+
+@dataclass
+class CommitVector:
+    """A tail's MAX vector: all updates before it are f+1 replicated.
+
+    ``entries`` may be a delta (only partitions that advanced since the
+    tail's previous announcement); receivers merge with element-wise max.
+    """
+
+    mbox: str
+    entries: Dict[int, int] = field(default_factory=dict)
+
+    def byte_size(self, costs: CostModel = DEFAULT_COSTS) -> int:
+        return (costs.commit_header_bytes +
+                len(self.entries) * costs.depvec_entry_bytes)
+
+    def merge_into(self, target: Dict[int, int]) -> None:
+        for partition, seq in self.entries.items():
+            if seq > target.get(partition, -1):
+                target[partition] = seq
+
+    def covers(self, depvec: Dict[int, int]) -> bool:
+        """True when every entry of ``depvec`` is replicated under this vector.
+
+        A log with pre-increment value v on partition p is replicated
+        once the commit vector reports MAX[p] >= v + 1.
+        """
+        return all(self.entries.get(partition, 0) >= seq + 1
+                   for partition, seq in depvec.items())
+
+    def __repr__(self):
+        return f"<Commit {self.mbox} {self.entries}>"
+
+
+class PiggybackMessage:
+    """The per-packet container of logs and commit vectors."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self.logs: Dict[str, List[PiggybackLog]] = {}
+        self.commits: Dict[str, CommitVector] = {}
+
+    def add_log(self, log: PiggybackLog) -> None:
+        self.logs.setdefault(log.mbox, []).append(log)
+
+    def add_logs(self, logs: List[PiggybackLog]) -> None:
+        for log in logs:
+            self.add_log(log)
+
+    def take_logs(self, mbox: str) -> List[PiggybackLog]:
+        """Remove and return all logs for ``mbox`` (done by its tail)."""
+        return self.logs.pop(mbox, [])
+
+    def logs_for(self, mbox: str) -> List[PiggybackLog]:
+        return self.logs.get(mbox, [])
+
+    def set_commit(self, commit: CommitVector) -> None:
+        self.commits[commit.mbox] = commit
+
+    def commit_for(self, mbox: str) -> Optional[CommitVector]:
+        return self.commits.get(mbox)
+
+    @property
+    def n_logs(self) -> int:
+        return sum(len(logs) for logs in self.logs.values())
+
+    def byte_size(self) -> int:
+        size = self.costs.message_header_bytes
+        for logs in self.logs.values():
+            size += sum(log.byte_size(self.costs) for log in logs)
+        for commit in self.commits.values():
+            size += commit.byte_size(self.costs)
+        return size
+
+    def state_bytes(self) -> int:
+        """Bytes of raw state values carried (for copy-cost accounting)."""
+        total = 0
+        for logs in self.logs.values():
+            for log in logs:
+                total += sum(value_bytes(v, self.costs)
+                             for v in log.updates.values())
+        return total
+
+    def __repr__(self):
+        return (f"<PBMsg logs={{{', '.join(f'{m}:{len(l)}' for m, l in self.logs.items())}}} "
+                f"commits={sorted(self.commits)}>")

@@ -1,0 +1,157 @@
+"""Failure recovery (§4.1, §5.2).
+
+Recovery of a failed replica runs in three steps: initialization
+(spawning a new replica at the failure position), state recovery
+(fetching each replication group's state from an alive member), and
+rerouting (steering traffic through the new replica).
+
+Source selection follows the log propagation invariant: a failed
+*head* recovers from its immediate successor (the successor's state is
+the same or prior, and everything released went through it); any other
+member recovers from its immediate predecessor.  With multiple
+failures the walk continues to the nearest alive member, and the
+orchestrator performs a single rerouting only after every new replica
+has confirmed recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import AllOf
+from .chain import FTCChain
+from .replica import Replica
+
+__all__ = ["RecoveryReport", "recover_positions", "UnrecoverableError"]
+
+
+class UnrecoverableError(Exception):
+    """More than f members of some replication group are gone."""
+
+
+@dataclass
+class RecoveryReport:
+    """Timing breakdown of one recovery operation (Fig 13's metrics)."""
+
+    positions: List[int]
+    initialization_s: float = 0.0
+    state_recovery_s: float = 0.0
+    rerouting_s: float = 0.0
+    bytes_transferred: int = 0
+    fetches: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.initialization_s + self.state_recovery_s + self.rerouting_s
+
+
+def _alive_source(chain: FTCChain, mbox_index: int, position: int,
+                  failed: set) -> Optional[int]:
+    """Pick the recovery source position for one replication group."""
+    group = chain.group_positions(mbox_index)
+    where = group.index(position)
+    if where == 0:
+        # Failed head: walk successors (closest first).
+        candidates = group[1:]
+    else:
+        # Failed middle/tail: walk predecessors back toward the head.
+        candidates = list(reversed(group[:where])) + group[where + 1:]
+    for candidate in candidates:
+        if candidate not in failed and not chain.server_at(candidate).failed:
+            return candidate
+    return None
+
+
+def recover_positions(chain: FTCChain, positions: List[int],
+                      init_delay_s: float = 1e-3,
+                      reroute_delay_s: float = 0.5e-3):
+    """Generator (run as a sim process): §5.2 recovery.
+
+    Returns a :class:`RecoveryReport`.  ``init_delay_s`` models the
+    orchestrator-to-region latency of spawning instances (Fig 13's
+    initialization delay); ``reroute_delay_s`` the flow-rule update.
+    """
+    sim = chain.sim
+    report = RecoveryReport(positions=list(positions))
+    failed = set(positions)
+    started = sim.now
+
+    # -- step 1: initialization -------------------------------------------------
+    yield sim.timeout(init_delay_s)
+    report.initialization_s = sim.now - started
+
+    new_replicas: Dict[int, Replica] = {}
+    new_servers: Dict[int, object] = {}
+    for position in positions:
+        server = chain._new_server(position)
+        middlebox = (chain.middleboxes[position]
+                     if position < chain.n_mboxes else None)
+        new_servers[position] = server
+        new_replicas[position] = Replica(sim, chain, position, server,
+                                         middlebox, costs=chain.costs,
+                                         streams=chain.streams,
+                                         use_htm=chain.use_htm)
+
+    # -- step 2: state recovery (parallel fetches per group) ---------------------
+    fetch_started = sim.now
+    frozen: List = []
+    fetch_events = []
+    for position in positions:
+        replica = new_replicas[position]
+        for mbox_index, mbox_name in chain.member_mboxes(position):
+            source_pos = _alive_source(chain, mbox_index, position, failed)
+            if source_pos is None:
+                raise UnrecoverableError(
+                    f"no alive replica left for middlebox {mbox_name!r}")
+            source_state = chain.replica_at(source_pos).states[mbox_name]
+            source_state.freeze()
+            frozen.append(source_state)
+
+            size = (source_state.store.state_bytes() +
+                    sum(log.byte_size(chain.costs)
+                        for log in source_state.retained))
+            report.bytes_transferred += size
+            report.fetches.append((mbox_name, source_pos, size))
+
+            def fetch_one(source_state=source_state, replica=replica,
+                          mbox_name=mbox_name, position=position,
+                          mbox_index=mbox_index, size=size,
+                          source_pos=source_pos):
+                # §6: the control module opens a reliable TCP connection
+                # per replication group, sends a fetch request, and
+                # waits for the state -- a connect round trip plus a
+                # request/response round trip.
+                yield chain.net.control_call(
+                    new_servers[position].name, chain.route[source_pos],
+                    lambda: True, payload_bytes=64, response_bytes=64)
+                contents, max_vector, retained = yield chain.net.control_call(
+                    new_servers[position].name, chain.route[source_pos],
+                    source_state.export_state, response_bytes=max(size, 64))
+                state = replica.states[mbox_name]
+                state.import_state(contents, max_vector, retained)
+                if replica.runtime is not None and mbox_index == position:
+                    # §5.2: restore the failed head's dependency matrix
+                    # by setting each row to the retrieved MAX.
+                    replica.runtime.depvec.load(max_vector)
+
+            fetch_events.append(sim.process(fetch_one()))
+
+    yield AllOf(sim, fetch_events)
+    report.state_recovery_s = sim.now - fetch_started
+
+    # -- step 3: rerouting (single update after all confirmations, §5.2) ---------
+    reroute_started = sim.now
+    yield sim.timeout(reroute_delay_s)
+    for position in positions:
+        chain.route[position] = new_servers[position].name
+        chain.replicas[position] = new_replicas[position]
+        if position > 0:
+            chain.net.connect(chain.route[position - 1], chain.route[position])
+        if position < chain.n_positions - 1:
+            chain.net.connect(chain.route[position], chain.route[position + 1])
+        new_replicas[position].start()
+    for state in frozen:
+        state.thaw()
+    report.rerouting_s = sim.now - reroute_started
+    return report

@@ -1,0 +1,251 @@
+"""The replica data plane (§4.1, §5.1).
+
+One :class:`Replica` runs on each server of the chain.  It hosts the
+position's middlebox (if any) and replicates state for the f preceding
+middleboxes on the logical ring.  Worker threads -- one per NIC queue
+-- drive the per-packet pipeline:
+
+1. position 0 only: the forwarder merges fed-back logs/commits onto
+   the packet's piggyback message;
+2. piggyback processing: apply the message's logs for every replicated
+   middlebox in dependency-vector order; tails strip their middlebox's
+   logs and attach commit vectors; commit vectors prune retained logs;
+3. the packet transaction of the local middlebox (data packets only);
+   its piggyback log joins the message; filtered packets hand their
+   message to a propagating packet;
+4. forward to the next replica, or hand to the buffer at the end.
+
+Replicas also run the retransmission protocol: a log held out-of-order
+for too long triggers a fetch of the predecessor's retained logs,
+which closes gaps caused by packet loss or mid-chain failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..middlebox.base import DROP, Middlebox
+from ..net.packet import Packet
+from ..sim import CancelledError, Interrupt, Process, RandomStreams, Simulator
+from .costs import CostModel, DEFAULT_COSTS
+from .depvec import ReplicationState
+from .piggyback import PiggybackMessage, value_bytes
+from .runtime import MiddleboxRuntime
+
+__all__ = ["Replica"]
+
+#: A log pending longer than this triggers a retransmission request.
+RETRANSMIT_AFTER_S = 200e-6
+
+#: How often the retransmission watchdog checks for stuck logs.
+RETRANSMIT_CHECK_S = 100e-6
+
+
+class Replica:
+    """One chain position's data plane on one server."""
+
+    def __init__(self, sim: Simulator, chain, position: int, server,
+                 middlebox: Optional[Middlebox],
+                 costs: CostModel = DEFAULT_COSTS,
+                 streams: Optional[RandomStreams] = None,
+                 use_htm: bool = False):
+        self.sim = sim
+        self.chain = chain
+        self.position = position
+        self.server = server
+        self.middlebox = middlebox
+        self.costs = costs
+        self.streams = streams or RandomStreams(0)
+
+        #: mbox name -> replication state, for every group this position
+        #: belongs to (including its own middlebox's).
+        self.states: Dict[str, ReplicationState] = {}
+        #: mboxes for which this position is the tail, with the MAX
+        #: snapshot last announced (commit vectors are deltas).
+        self.tail_last_sent: Dict[str, Dict[int, int]] = {}
+        #: mboxes replicated here that originate upstream (chain order).
+        self.replicated: List[str] = []
+
+        for index, name in chain.member_mboxes(position):
+            state = ReplicationState(name, costs.n_partitions)
+            self.states[name] = state
+            if chain.tail_position(index) == position:
+                self.tail_last_sent[name] = {}
+            if middlebox is None or name != middlebox.name:
+                self.replicated.append(name)
+
+        self.runtime: Optional[MiddleboxRuntime] = None
+        if middlebox is not None:
+            self.runtime = MiddleboxRuntime(
+                sim, middlebox, self.states[middlebox.name],
+                costs=costs, streams=self.streams, use_htm=use_htm)
+
+        self.workers: List[Process] = []
+        self._watchdog: Optional[Process] = None
+        self.packets_handled = 0
+        self.propagating_emitted = 0
+        self.retransmit_requests = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        for tid, queue in enumerate(self.server.nic.queues):
+            worker = self.sim.process(self._worker(tid, queue),
+                                      name=f"replica{self.position}/w{tid}")
+            self.workers.append(worker)
+        self._watchdog = self.sim.process(
+            self._retransmit_watchdog(), name=f"replica{self.position}/rtx")
+
+    def stop(self) -> None:
+        for worker in self.workers:
+            if worker.is_alive:
+                worker.interrupt("stopped")
+        if self._watchdog is not None and self._watchdog.is_alive:
+            self._watchdog.interrupt("stopped")
+        self.workers = []
+        self._watchdog = None
+
+    @property
+    def is_first(self) -> bool:
+        return self.position == 0
+
+    @property
+    def is_last(self) -> bool:
+        return self.position == self.chain.n_positions - 1
+
+    # -- ingestion helpers -----------------------------------------------------
+
+    def enqueue_local(self, packet: Packet) -> None:
+        """Inject a locally generated packet (propagating) into a queue."""
+        queue_index = self.server.nic.queue_for(packet)
+        self.server.nic.queues[queue_index].try_put(packet)
+
+    # -- the worker pipeline ------------------------------------------------------
+
+    def _worker(self, thread_id: int, queue):
+        try:
+            while True:
+                packet = yield queue.get()
+                if self.server.failed:
+                    return
+                yield from self._handle(packet, thread_id)
+        except (Interrupt, CancelledError):
+            return
+
+    def _handle(self, packet: Packet, thread_id: int):
+        self.packets_handled += 1
+        cycles = self.costs.per_wire_byte_cycles * packet.wire_size
+        message = packet.detach("ftc")
+        if message is None:
+            message = PiggybackMessage(self.costs)
+
+        if self.is_first and packet.kind != "feedback":
+            cycles += self.chain.forwarder.attach(message)
+
+        cycles += self._process_piggyback(message)
+        if cycles > 0:
+            yield self.sim.timeout(self.costs.cycles_to_seconds(cycles))
+
+        out_packet = packet
+        if self.runtime is not None and packet.is_data:
+            verdict, log = yield from self.runtime.process(packet, thread_id)
+            if log is not None and not log.is_noop:
+                message.add_log(log)
+            own = self.middlebox.name
+            if own in self.tail_last_sent:
+                # f = 0: the head is its own tail -- the log is already
+                # replicated f+1 = 1 times, so strip it and commit.
+                message.take_logs(own)
+                state = self.states[own]
+                commit = state.commit_vector(last_sent=self.tail_last_sent[own])
+                if commit.entries:
+                    message.set_commit(commit)
+                    self.tail_last_sent[own] = dict(state.max)
+            if verdict is DROP:
+                self._emit_propagating(message)
+                return
+            if isinstance(verdict, Packet):
+                out_packet = verdict
+
+        if message.byte_size() > out_packet.size:
+            # The piggyback message no longer fits the packet buffer's
+            # tailroom: extend/chain the buffer before forwarding.
+            yield self.sim.timeout(self.costs.cycles_to_seconds(
+                self.costs.mbuf_extension_cycles))
+        yield from self._forward(out_packet, message)
+
+    def _process_piggyback(self, message: PiggybackMessage) -> float:
+        """Apply carried logs; strip + commit where we are the tail."""
+        cycles = 0.0
+        for mbox in self.replicated:
+            logs = message.logs_for(mbox)
+            if logs:
+                state = self.states[mbox]
+                for log in list(logs):
+                    cycles += (self.costs.piggyback_apply_cycles +
+                               self.costs.per_state_byte_cycles *
+                               sum(value_bytes(v, self.costs)
+                                   for v in log.updates.values()))
+                    state.offer(log, now=self.sim.now)
+            if mbox in self.tail_last_sent:
+                message.take_logs(mbox)
+                state = self.states[mbox]
+                commit = state.commit_vector(last_sent=self.tail_last_sent[mbox])
+                if commit.entries:
+                    message.set_commit(commit)
+                    self.tail_last_sent[mbox] = dict(state.max)
+        for mbox, commit in message.commits.items():
+            state = self.states.get(mbox)
+            if state is not None:
+                state.absorb_commit(commit)
+        return cycles
+
+    def _forward(self, packet: Packet, message: PiggybackMessage):
+        if self.is_last:
+            cycles = self.chain.buffer.handle(packet, message)
+            yield self.sim.timeout(self.costs.cycles_to_seconds(cycles))
+        else:
+            packet.attach("ftc", message)
+            self.chain.send_to_position(self.position, self.position + 1, packet)
+            return
+            yield  # pragma: no cover - keeps this a generator
+
+    def _emit_propagating(self, message: PiggybackMessage) -> None:
+        """Carry a filtered packet's piggyback message onward (§5.1)."""
+        if message.n_logs == 0 and not message.commits:
+            return
+        from .forwarder import _PROPAGATING_FLOW, _PROPAGATING_SIZE
+        packet = Packet(flow=_PROPAGATING_FLOW, size=_PROPAGATING_SIZE,
+                        kind="propagating", created_at=self.sim.now)
+        packet.attach("ftc", message)
+        self.propagating_emitted += 1
+        if self.is_last:
+            self.chain.buffer.handle(packet, packet.detach("ftc"))
+        else:
+            self.chain.send_to_position(self.position, self.position + 1, packet)
+        return
+
+    # -- retransmission (§4.1 reliable state transmission) ---------------------
+
+    def _retransmit_watchdog(self):
+        try:
+            while True:
+                yield self.sim.timeout(RETRANSMIT_CHECK_S)
+                if self.server.failed:
+                    return
+                for mbox in self.replicated:
+                    state = self.states[mbox]
+                    if state.pending and not state.frozen:
+                        oldest = min(getattr(log, "_held_at", 0.0)
+                                     for log in state.pending)
+                        if self.sim.now - oldest >= RETRANSMIT_AFTER_S:
+                            yield from self._request_retransmission(mbox)
+        except (Interrupt, CancelledError):
+            return
+
+    def _request_retransmission(self, mbox: str):
+        """Fetch the predecessor's retained logs to fill a gap."""
+        self.retransmit_requests += 1
+        logs = yield from self.chain.fetch_retained_logs(self.position, mbox)
+        if logs:
+            self.states[mbox].offer_all(logs, now=self.sim.now)

@@ -1,0 +1,165 @@
+"""Middlebox runtime at the head replica (§4).
+
+The runtime executes a middlebox's packet transaction through the STM,
+stamps the head's dependency vector atomically with the commit, emits
+the piggyback log, and charges the calibrated cycle costs.  It also
+keeps the per-component cycle counters that Table 2's benchmark reads
+back out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..middlebox.base import DROP, Middlebox, PASS
+from ..net.packet import Packet
+from ..sim import RandomStreams, Simulator
+from ..stm.partition import PartitionSpace
+from ..stm.transaction import TransactionContext, TransactionManager
+from .costs import CostModel, DEFAULT_COSTS
+from .depvec import DependencyVector, ReplicationState
+from .piggyback import PiggybackLog, value_bytes
+
+__all__ = ["MiddleboxRuntime", "CycleCounters"]
+
+
+class CycleCounters:
+    """Per-component CPU accounting (the Table 2 breakdown)."""
+
+    __slots__ = ("processing", "locking", "piggyback_copy", "forwarder",
+                 "buffer", "packets")
+
+    def __init__(self):
+        self.processing = 0.0
+        self.locking = 0.0
+        self.piggyback_copy = 0.0
+        self.forwarder = 0.0
+        self.buffer = 0.0
+        self.packets = 0
+
+    def per_packet(self, component: str) -> float:
+        if self.packets == 0:
+            return 0.0
+        return getattr(self, component) / self.packets
+
+
+class MiddleboxRuntime:
+    """Transactional execution of one middlebox on its head server."""
+
+    def __init__(self, sim: Simulator, middlebox: Middlebox,
+                 own_state: ReplicationState,
+                 costs: CostModel = DEFAULT_COSTS,
+                 streams: Optional[RandomStreams] = None,
+                 replicate: bool = True,
+                 extra_critical_cycles: float = 0.0,
+                 use_htm: bool = False):
+        self.sim = sim
+        self.middlebox = middlebox
+        self.state = own_state
+        self.costs = costs
+        self.streams = streams or RandomStreams(0)
+        self.replicate = replicate
+        #: Extra work inside the critical section (FTMB charges its
+        #: in-lock PAL logging here; zero for FTC and NF).
+        self.extra_critical_cycles = extra_critical_cycles
+        #: Hybrid transactional memory (§3.2): elide locks when the
+        #: hardware transaction would not conflict.
+        self.use_htm = use_htm
+        self.partitions = PartitionSpace(costs.n_partitions)
+        self.manager = TransactionManager(
+            sim, own_state.store, self.partitions,
+            name=f"stm/{middlebox.name}",
+            handoff_delay_s=costs.cycles_to_seconds(costs.lock_wakeup_cycles),
+            spin_threshold=costs.lock_spin_threshold,
+            htm=use_htm)
+        self.depvec = DependencyVector(costs.n_partitions)
+        self.counters = CycleCounters()
+        self.transactions = 0
+
+    # -- cost helpers ----------------------------------------------------------
+
+    def _jittered(self, cycles: float) -> float:
+        frac = self.costs.cycle_jitter_frac
+        if frac <= 0:
+            return cycles
+        return self.streams.gauss_clamped(
+            f"cycles/{self.middlebox.name}", cycles, cycles * frac,
+            minimum=cycles * 0.5)
+
+    def _processing_cycles(self) -> float:
+        base = self.middlebox.processing_cycles
+        if base is None:
+            base = self.costs.processing_cycles
+        return self._jittered(base)
+
+    # -- execution ----------------------------------------------------------------
+
+    def process(self, packet: Packet, thread_id: int,
+                want_result: bool = False):
+        """Generator: run the packet transaction.
+
+        Returns ``(verdict, piggyback_log_or_None)`` -- or, with
+        ``want_result``, ``(verdict, log, TransactionResult)`` so
+        callers like FTMB can inspect the access set.  Read-only
+        transactions yield a no-op log; stateless middleboxes skip the
+        STM entirely (and produce no log).
+        """
+        self.transactions += 1
+        self.counters.packets += 1
+        processing = self._processing_cycles()
+        if self.middlebox.stateless:
+            self.counters.processing += processing
+            yield self.sim.timeout(self.costs.cycles_to_seconds(processing))
+            verdict = self.middlebox.process(
+                packet, TransactionContext(self.state.store,
+                                           flow=packet.flow,
+                                           thread_id=thread_id,
+                                           now=self.sim.now))
+            if want_result:
+                return verdict, None, None
+            return verdict, None
+
+        locking = self._jittered(self.costs.locking_cycles)
+        hold = self.costs.cycles_to_seconds(
+            processing + self.extra_critical_cycles)
+        self.counters.processing += processing
+
+        def body(ctx: TransactionContext):
+            return self.middlebox.process(packet, ctx)
+
+        def commit_hold_fn(ctx: TransactionContext) -> float:
+            if not self.replicate or not ctx.writes:
+                return 0.0
+            copy_cycles = self._jittered(
+                self.costs.piggyback_copy_cycles +
+                self.costs.per_state_byte_cycles *
+                sum(value_bytes(v, self.costs) for v in ctx.writes.values()))
+            self.counters.piggyback_copy += copy_cycles
+            return self.costs.cycles_to_seconds(copy_cycles)
+
+        def on_commit(ctx: TransactionContext, touched) -> Optional[PiggybackLog]:
+            if not self.replicate:
+                return None
+            if not ctx.writes:
+                return PiggybackLog(self.middlebox.name, packet_id=packet.pid)
+            vec = self.depvec.stamp(sorted(touched))
+            log = PiggybackLog(self.middlebox.name, depvec=vec,
+                               updates=dict(ctx.writes), packet_id=packet.pid)
+            # The head is also the first of the f+1 replicas: account the
+            # log locally so pruning/recovery see it.
+            self.state.record_local(log)
+            return log
+
+        result = yield from self.manager.run(
+            body, hold_time=hold, flow=packet.flow, thread_id=thread_id,
+            on_commit=on_commit, commit_hold_fn=commit_hold_fn,
+            lock_overhead_s=self.costs.cycles_to_seconds(locking),
+            htm_overhead_s=self.costs.cycles_to_seconds(
+                self.costs.htm_commit_cycles))
+        self.counters.locking += (self.costs.htm_commit_cycles
+                                  if result.used_htm else locking)
+
+        log = result.commit_value
+        if want_result:
+            return result.value, log, result
+        return result.value, log

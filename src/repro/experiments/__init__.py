@@ -1,0 +1,51 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` (or a list of
+results for multi-panel figures) plus a ``main()`` that prints the
+same rows/series the paper reports.  Run any of them directly::
+
+    python -m repro.experiments.fig9
+"""
+
+from . import (
+    ablations,
+    calibration,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+)
+from .runner import (
+    ExperimentResult,
+    latency_under_load,
+    quick_mode,
+    saturation_throughput,
+)
+from .systems import SYSTEMS, build_system
+
+__all__ = [
+    "ExperimentResult",
+    "ablations",
+    "calibration",
+    "SYSTEMS",
+    "build_system",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "latency_under_load",
+    "quick_mode",
+    "saturation_throughput",
+    "table2",
+]

@@ -1,0 +1,61 @@
+"""Fig 12: replication factor's impact on Ch-5.
+
+"For replication factors of 2--5 (i.e., tolerating 1 to 5 failures
+[sic: 1-4]), Figure 12 shows FTC's performance for Ch-5 in two
+settings where Monitors run with 1 or 8 threads. ... FTC incurs only
+3% throughput overhead [at replication factor 5] ... latency only
+increases by 8 us."
+"""
+
+from __future__ import annotations
+
+from ..middlebox import ch_n
+from .runner import ExperimentResult, latency_under_load, saturation_throughput
+
+#: Replication factor = f + 1 (replicas per middlebox).
+REPLICATION_FACTORS = [2, 3, 4, 5]
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 12: FTC on Ch-5 vs replication factor",
+        headers=["Replication factor", "Throughput, 8 thr (Mpps)",
+                 "Latency, 1 thr (us)"])
+    base_tput = None
+    base_lat = None
+    for factor in REPLICATION_FACTORS:
+        f = factor - 1
+        # High replication factors multiply per-packet work at every
+        # replica; keep the windows tight (the simulation is
+        # deterministic, so short windows stay precise).
+        tput = saturation_throughput(
+            "ftc", lambda: ch_n(5, sharing_level=1, n_threads=8),
+            n_threads=8, f=f, seed=seed, warm_s=0.5e-3, window_s=1e-3)
+        latency = latency_under_load(
+            "ftc", lambda: ch_n(5, sharing_level=1, n_threads=1),
+            rate_pps=2e6, n_threads=1, f=f, seed=seed,
+            warm_s=0.4e-3, window_s=1.2e-3).latency.mean_us()
+        if base_tput is None:
+            base_tput, base_lat = tput, latency
+        result.add(factor, round(tput, 2), round(latency, 1))
+    result.notes.append(
+        f"Throughput drop at factor 5: "
+        f"{100 * (1 - result.rows[-1][1] / base_tput):.1f}% "
+        "(paper: ~3%); latency increase: "
+        f"{result.rows[-1][2] - base_lat:.1f} us (paper: ~8 us).")
+    result.notes.append(
+        "At factors 4-5 the 10 GbE buffer->forwarder dissemination link "
+        "saturates (4 wrap-group logs per packet at the NIC-capped "
+        "10.5 Mpps exceed 10 Gbps).  The paper's testbed ran at 8.3 Mpps "
+        "where the same volume just fits -- and §7.4 itself notes the "
+        "replication factor cannot grow arbitrarily because piggyback "
+        "messages become impractical.")
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Measurement: meters, statistics, and report formatting."""
+
+from .meters import EgressRecorder, LatencySampler, ThroughputMeter
+from .reporting import format_series, format_table
+from .stats import (
+    cdf_points,
+    confidence_interval95,
+    mean,
+    percentile,
+    stdev,
+)
+
+__all__ = [
+    "EgressRecorder",
+    "LatencySampler",
+    "ThroughputMeter",
+    "cdf_points",
+    "confidence_interval95",
+    "format_series",
+    "format_table",
+    "mean",
+    "percentile",
+    "stdev",
+]

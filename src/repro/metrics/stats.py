@@ -1,0 +1,69 @@
+"""Small statistics helpers (percentiles, CDFs, confidence intervals).
+
+Pure-Python and dependency-free so the core library stays importable
+without numpy; the benchmark harness may still use numpy for speed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["mean", "stdev", "percentile", "cdf_points", "confidence_interval95"]
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("mean of empty sample set")
+    return sum(samples) / len(samples)
+
+
+def stdev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator)."""
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (len(samples) - 1))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q!r} out of range")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def cdf_points(samples: Sequence[float],
+               n_points: int = 100) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        raise ValueError("cdf of empty sample set")
+    ordered = sorted(samples)
+    total = len(ordered)
+    if n_points >= total:
+        return [(value, (i + 1) / total) for i, value in enumerate(ordered)]
+    points = []
+    for j in range(n_points):
+        idx = round(j * (total - 1) / (n_points - 1))
+        points.append((ordered[idx], (idx + 1) / total))
+    return points
+
+
+def confidence_interval95(samples: Sequence[float]) -> Tuple[float, float]:
+    """(mean, half-width) of a normal-approximation 95% CI."""
+    mu = mean(samples)
+    if len(samples) < 2:
+        return mu, 0.0
+    half = 1.96 * stdev(samples) / math.sqrt(len(samples))
+    return mu, half

@@ -1,0 +1,84 @@
+"""Middlebox programming model.
+
+A middlebox implements :meth:`Middlebox.process`, reading and writing
+its state exclusively through the transaction context it is handed
+(FTC's state management API, §4.1: "for an existing middlebox to use
+FTC, its source code must be modified to call our API for state reads
+and writes").
+
+``process`` returns a verdict: :data:`PASS` (forward the packet as
+is), :data:`DROP` (filter it -- FTC then moves its state updates via a
+propagating packet, §5.1), or a replacement :class:`~repro.net.Packet`
+(e.g. a NAT rewrite).
+
+Because the STM may execute a transaction body more than once,
+``process`` must be deterministic given (store contents, packet) and
+must confine its side effects to the context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..net.packet import Packet
+from ..stm.transaction import TransactionContext
+
+__all__ = ["Middlebox", "PASS", "DROP", "Verdict"]
+
+
+class _Verdict:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"<{self.name}>"
+
+
+PASS = _Verdict("PASS")
+DROP = _Verdict("DROP")
+
+Verdict = Union[_Verdict, Packet]
+
+
+class Middlebox:
+    """Base class for data-plane functions.
+
+    Attributes:
+        name: instance name (unique within a chain).
+        processing_cycles: per-packet CPU cost of the function logic
+            itself, excluding locking/replication overheads which the
+            runtime charges separately.  ``None`` means "use the
+            calibrated default".
+        stateless: stateless middleboxes skip the STM entirely.
+    """
+
+    #: Override in subclasses that keep no state (e.g. Firewall).
+    stateless = False
+
+    def __init__(self, name: str, processing_cycles: Optional[float] = None):
+        self.name = name
+        self.processing_cycles = processing_cycles
+        self.packets_processed = 0
+        self.packets_dropped = 0
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        """Handle one packet inside a packet transaction."""
+        raise NotImplementedError
+
+    def count_packet(self, ctx: TransactionContext) -> None:
+        """Bump the processed counter (authoritative executions only)."""
+        if ctx.authoritative:
+            self.packets_processed += 1
+
+    def count_drop(self, ctx: TransactionContext) -> None:
+        if ctx.authoritative:
+            self.packets_dropped += 1
+
+    def describe(self) -> str:
+        """Human-readable summary (state access pattern etc.)."""
+        return type(self).__name__
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"

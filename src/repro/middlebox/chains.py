@@ -1,0 +1,45 @@
+"""Chain definitions from Table 1.
+
+=========  =================================================
+Chain      Middleboxes in chain
+=========  =================================================
+Ch-n       Monitor_1 -> ... -> Monitor_n
+Ch-Gen     Gen_1 -> Gen_2
+Ch-Rec     Firewall -> Monitor -> SimpleNAT
+=========  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Middlebox
+from .firewall import Firewall
+from .gen import Gen
+from .monitor import Monitor
+from .nat import SimpleNAT
+
+__all__ = ["ch_n", "ch_gen", "ch_rec"]
+
+
+def ch_n(n: int, sharing_level: int = 1, n_threads: int = 8) -> List[Middlebox]:
+    """Ch-n: a chain of ``n`` Monitors (§7.4's scaling workload)."""
+    if n < 1:
+        raise ValueError("chain length must be >= 1")
+    return [Monitor(name=f"monitor{i + 1}", sharing_level=sharing_level,
+                    n_threads=n_threads)
+            for i in range(n)]
+
+
+def ch_gen(state_size: int = 64) -> List[Middlebox]:
+    """Ch-Gen: Gen1 -> Gen2 (Fig 5's chain variant)."""
+    return [Gen(name="gen1", state_size=state_size),
+            Gen(name="gen2", state_size=state_size)]
+
+
+def ch_rec(sharing_level: int = 1, n_threads: int = 8) -> List[Middlebox]:
+    """Ch-Rec: Firewall -> Monitor -> SimpleNAT (§7.5's recovery chain)."""
+    return [Firewall(name="firewall"),
+            Monitor(name="monitor", sharing_level=sharing_level,
+                    n_threads=n_threads),
+            SimpleNAT(name="simplenat")]

@@ -1,0 +1,69 @@
+"""Firewall middlebox (Table 1): stateless rule matching.
+
+The paper's Firewall is stateless (Table 1 lists its state access as
+N/A); it exists in Ch-Rec to show FTC handling a mix of stateful and
+stateless functions and packet filtering (§5.1: a filtered packet's
+piggybacked state travels on a propagating packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..net.packet import FlowKey, Packet
+from ..stm.transaction import TransactionContext
+from .base import DROP, Middlebox, PASS, Verdict
+
+__all__ = ["Firewall", "Rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A match-action rule; ``None`` fields are wildcards."""
+
+    action: str  # "allow" | "deny"
+    src_ip: Optional[int] = None
+    dst_ip: Optional[int] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    proto: Optional[int] = None
+
+    def matches(self, flow: FlowKey) -> bool:
+        return ((self.src_ip is None or self.src_ip == flow.src_ip) and
+                (self.dst_ip is None or self.dst_ip == flow.dst_ip) and
+                (self.src_port is None or self.src_port == flow.src_port) and
+                (self.dst_port is None or self.dst_port == flow.dst_port) and
+                (self.proto is None or self.proto == flow.proto))
+
+
+class Firewall(Middlebox):
+    """First-match stateless packet filter."""
+
+    stateless = True
+
+    def __init__(self, name: str = "firewall",
+                 rules: Optional[Sequence[Rule]] = None,
+                 default_action: str = "allow",
+                 processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        if default_action not in ("allow", "deny"):
+            raise ValueError(f"unknown default action {default_action!r}")
+        self.rules: List[Rule] = list(rules or [])
+        self.default_action = default_action
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        for rule in self.rules:
+            if rule.matches(packet.flow):
+                if rule.action == "deny":
+                    self.count_drop(ctx)
+                    return DROP
+                return PASS
+        if self.default_action == "deny":
+            self.count_drop(ctx)
+            return DROP
+        return PASS
+
+    def describe(self) -> str:
+        return f"Firewall: stateless, {len(self.rules)} rules"

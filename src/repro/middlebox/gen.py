@@ -1,0 +1,39 @@
+"""Gen middlebox (Table 1): write-heavy state-size stressor.
+
+"Gen represents a write-heavy middlebox that takes a state size
+parameter, which allows us to test the impact of a middlebox's state
+size on performance" -- it writes a fresh blob of the configured size
+on every packet, so the piggyback log carries exactly ``state_size``
+bytes of updates per packet.  Used by Fig 5 and the Ch-Gen chain.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..stm.transaction import TransactionContext
+from .base import Middlebox, PASS, Verdict
+
+__all__ = ["Gen"]
+
+
+class Gen(Middlebox):
+    """Writes ``state_size`` bytes of per-thread state on every packet."""
+
+    def __init__(self, name: str = "gen", state_size: int = 64,
+                 processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        if state_size < 1:
+            raise ValueError("state size must be positive")
+        self.state_size = state_size
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        # A deterministic blob: derived from the packet id so repeated
+        # transaction execution writes identical bytes.
+        fill = packet.pid & 0xFF
+        blob = bytes([fill]) * self.state_size
+        ctx.write(("blob", ctx.thread_id), blob)
+        return PASS
+
+    def describe(self) -> str:
+        return f"Gen: write per packet, state size {self.state_size} B"

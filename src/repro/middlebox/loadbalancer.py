@@ -1,0 +1,51 @@
+"""Load balancer middlebox (extra, used by examples).
+
+§3.2 motivates transactional packet processing with exactly this
+function: "a load balancer and a NAT ensure connection persistence
+(i.e., a connection is always directed to a unique destination) while
+accessing a shared flow table".  The balancer picks a backend for the
+first packet of a flow and pins the flow to it thereafter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..net.packet import FlowKey, Packet, ip
+from ..stm.transaction import TransactionContext
+from .base import Middlebox, Verdict
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer(Middlebox):
+    """Flow-sticky round-robin L4 load balancer."""
+
+    def __init__(self, name: str = "lb",
+                 backends: Sequence[str] = ("192.168.1.1", "192.168.1.2"),
+                 processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        if not backends:
+            raise ValueError("need at least one backend")
+        self.backends: List[int] = [ip(b) for b in backends]
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        flow = packet.flow
+        backend = ctx.read(("pin", flow))
+        if backend is None:
+            cursor = ctx.read("rr_cursor", 0)
+            backend = self.backends[cursor % len(self.backends)]
+            ctx.write("rr_cursor", cursor + 1)
+            ctx.write(("pin", flow), backend)
+            conn_key = ("conns", backend)
+            ctx.write(conn_key, ctx.read(conn_key, 0) + 1)
+        rewritten = packet.clone_headers()
+        rewritten.flow = FlowKey(flow.src_ip, backend,
+                                 flow.src_port, flow.dst_port, flow.proto)
+        rewritten.meta.update(packet.meta)
+        rewritten.pid = packet.pid
+        return rewritten
+
+    def describe(self) -> str:
+        return f"LoadBalancer: sticky flows over {len(self.backends)} backends"

@@ -1,0 +1,60 @@
+"""Monitor middlebox (Table 1): read/write heavy flow statistics.
+
+The paper's Monitor "counts the number of packets in a flow or across
+flows.  It takes a *sharing level* parameter that specifies the number
+of threads sharing the same state variable.  For example, no state is
+shared for the sharing level 1, and all 8 threads share the same state
+variable for sharing level 8."  Every packet performs a read and a
+write on the shared counter, which makes Monitor the contention
+stress-test for transactional packet processing (Fig 6, Fig 8a).
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..stm.transaction import TransactionContext
+from .base import Middlebox, PASS, Verdict
+
+__all__ = ["Monitor"]
+
+
+class Monitor(Middlebox):
+    """Per-group packet counter with a configurable sharing level."""
+
+    def __init__(self, name: str = "monitor", sharing_level: int = 1,
+                 n_threads: int = 8, count_bytes: bool = False,
+                 processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        if sharing_level < 1 or sharing_level > n_threads:
+            raise ValueError(
+                f"sharing level must be in [1, {n_threads}], got {sharing_level}")
+        if n_threads % sharing_level != 0:
+            raise ValueError("sharing level must divide the thread count")
+        self.sharing_level = sharing_level
+        self.n_threads = n_threads
+        self.count_bytes = count_bytes
+
+    def group_of(self, thread_id: int) -> int:
+        """The counter group this thread belongs to."""
+        return thread_id // self.sharing_level
+
+    def counter_key(self, thread_id: int):
+        return ("count", self.group_of(thread_id))
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        key = self.counter_key(ctx.thread_id)
+        ctx.write(key, ctx.read(key, 0) + 1)
+        if self.count_bytes:
+            bytes_key = ("bytes", self.group_of(ctx.thread_id))
+            ctx.write(bytes_key, ctx.read(bytes_key, 0) + packet.size)
+        return PASS
+
+    def total_count(self, store) -> int:
+        """Sum of all counter groups in a state store (for tests)."""
+        groups = self.n_threads // self.sharing_level
+        return sum(store.get(("count", group), 0) for group in range(groups))
+
+    def describe(self) -> str:
+        return (f"Monitor: read+write per packet, sharing level "
+                f"{self.sharing_level}/{self.n_threads} threads")

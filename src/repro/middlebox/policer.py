@@ -1,0 +1,58 @@
+"""Token-bucket traffic policer.
+
+A write-heavy middlebox (every packet mutates its flow's bucket) used
+by the examples and ablations.  Buckets refill lazily from the
+transaction context's clock, so the middlebox stays deterministic for
+the STM's repeated execution: the refill depends only on (stored
+state, ctx.now).
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..stm.transaction import TransactionContext
+from .base import DROP, Middlebox, PASS, Verdict
+
+__all__ = ["TokenBucketPolicer"]
+
+
+class TokenBucketPolicer(Middlebox):
+    """Per-flow token bucket: drop packets exceeding the profile."""
+
+    def __init__(self, name: str = "policer", rate_pps: float = 10_000.0,
+                 burst: float = 100.0, per_flow: bool = True,
+                 processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        if rate_pps <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_pps = rate_pps
+        self.burst = burst
+        self.per_flow = per_flow
+
+    def _bucket_key(self, packet: Packet):
+        if self.per_flow:
+            return ("bucket", packet.flow)
+        return ("bucket", "aggregate")
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        key = self._bucket_key(packet)
+        bucket = ctx.read(key)
+        if bucket is None:
+            tokens, last_refill = self.burst, ctx.now
+        else:
+            tokens, last_refill = bucket
+            tokens = min(self.burst,
+                         tokens + (ctx.now - last_refill) * self.rate_pps)
+            last_refill = ctx.now
+        if tokens < 1.0:
+            ctx.write(key, (tokens, last_refill))
+            self.count_drop(ctx)
+            return DROP
+        ctx.write(key, (tokens - 1.0, last_refill))
+        return PASS
+
+    def describe(self) -> str:
+        scope = "per-flow" if self.per_flow else "aggregate"
+        return (f"TokenBucketPolicer: {scope} {self.rate_pps:g} pps, "
+                f"burst {self.burst:g}")

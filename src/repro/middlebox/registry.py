@@ -1,0 +1,51 @@
+"""Name -> middlebox factory registry (for examples and config files)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import Middlebox
+from .firewall import Firewall
+from .gen import Gen
+from .ids import PortCountIDS
+from .loadbalancer import LoadBalancer
+from .monitor import Monitor
+from .nat import MazuNAT, SimpleNAT
+from .policer import TokenBucketPolicer
+from .stateful_firewall import StatefulFirewall
+
+__all__ = ["create", "register", "available"]
+
+_FACTORIES: Dict[str, Callable[..., Middlebox]] = {
+    "mazunat": MazuNAT,
+    "simplenat": SimpleNAT,
+    "monitor": Monitor,
+    "gen": Gen,
+    "firewall": Firewall,
+    "stateful-firewall": StatefulFirewall,
+    "loadbalancer": LoadBalancer,
+    "policer": TokenBucketPolicer,
+    "ids": PortCountIDS,
+}
+
+
+def register(kind: str, factory: Callable[..., Middlebox]) -> None:
+    """Register a custom middlebox type."""
+    if kind in _FACTORIES:
+        raise ValueError(f"middlebox kind {kind!r} already registered")
+    _FACTORIES[kind] = factory
+
+
+def create(kind: str, **kwargs) -> Middlebox:
+    """Instantiate a middlebox by type name."""
+    try:
+        factory = _FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown middlebox kind {kind!r}; "
+            f"available: {sorted(_FACTORIES)}") from None
+    return factory(**kwargs)
+
+
+def available() -> list:
+    return sorted(_FACTORIES)

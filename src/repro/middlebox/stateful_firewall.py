@@ -1,0 +1,70 @@
+"""Stateful firewall with connection tracking.
+
+§2 of the paper motivates stateful middleboxes with exactly this
+function: "a stateful firewall filters packets based on statistics
+that it collects for network flows", keeping *partitionable* per-flow
+state (established/na, packet counts, last-seen timestamps) like
+netfilter's connection tracking.
+
+Policy: traffic originating from the protected (internal) prefix
+establishes a connection entry; external traffic is admitted only when
+it matches an established connection that has not idled out.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet, format_ip
+from ..stm.transaction import TransactionContext
+from .base import DROP, Middlebox, PASS, Verdict
+
+__all__ = ["StatefulFirewall"]
+
+
+class StatefulFirewall(Middlebox):
+    """Connection-tracking firewall for an internal prefix."""
+
+    def __init__(self, name: str = "sfw", internal_prefix: str = "10.",
+                 idle_timeout_s: float = 30.0, processing_cycles=None):
+        super().__init__(name, processing_cycles)
+        self.internal_prefix = internal_prefix
+        self.idle_timeout_s = idle_timeout_s
+
+    def _is_internal(self, packet: Packet) -> bool:
+        return format_ip(packet.flow.src_ip).startswith(self.internal_prefix)
+
+    def process(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        self.count_packet(ctx)
+        if self._is_internal(packet):
+            return self._outbound(packet, ctx)
+        return self._inbound(packet, ctx)
+
+    def _outbound(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        key = ("conn", packet.flow)
+        entry = ctx.read(key)
+        if entry is None:
+            entry = {"packets": 0, "established": True}
+        entry = dict(entry)
+        entry["packets"] += 1
+        entry["last_seen"] = ctx.now
+        ctx.write(key, entry)
+        return PASS
+
+    def _inbound(self, packet: Packet, ctx: TransactionContext) -> Verdict:
+        key = ("conn", packet.flow.reversed())
+        entry = ctx.read(key)
+        if entry is None:
+            self.count_drop(ctx)
+            return DROP
+        if ctx.now - entry.get("last_seen", 0.0) > self.idle_timeout_s:
+            # Connection idled out: evict the entry and drop.
+            ctx.delete(key)
+            self.count_drop(ctx)
+            return DROP
+        refreshed = dict(entry)
+        refreshed["last_seen"] = ctx.now
+        ctx.write(key, refreshed)
+        return PASS
+
+    def describe(self) -> str:
+        return (f"StatefulFirewall: per-flow connection tracking, "
+                f"{self.idle_timeout_s}s idle timeout")

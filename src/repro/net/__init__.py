@@ -1,0 +1,32 @@
+"""Network substrate: packets, flows, links, NICs, servers, traffic."""
+
+from .churn import FlowChurnGenerator
+from .flowgen import FlowPool, TrafficGenerator, balanced_flows
+from .link import Link, LossyLink
+from .nic import DEFAULT_NIC_PPS, NIC
+from .packet import FlowKey, Packet, format_ip, ip
+from .topology import (
+    DEFAULT_CPU_HZ,
+    DEFAULT_HOP_DELAY_S,
+    Network,
+    Server,
+)
+
+__all__ = [
+    "DEFAULT_CPU_HZ",
+    "DEFAULT_HOP_DELAY_S",
+    "DEFAULT_NIC_PPS",
+    "FlowChurnGenerator",
+    "FlowKey",
+    "FlowPool",
+    "Link",
+    "LossyLink",
+    "NIC",
+    "Network",
+    "Packet",
+    "Server",
+    "TrafficGenerator",
+    "balanced_flows",
+    "format_ip",
+    "ip",
+]

@@ -1,0 +1,81 @@
+"""Point-to-point links.
+
+A link models propagation delay plus serialization at a byte rate.
+Delivery is FIFO: a packet never overtakes an earlier one on the same
+link, which the FTC protocol relies on between adjacent replicas
+(sequence numbers still guard against drops, which the link can also
+inject for fault testing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import RateLimiter, Simulator
+
+__all__ = ["Link", "LossyLink"]
+
+
+class Link:
+    """A unidirectional link with delay and bandwidth.
+
+    ``sink`` is a callable invoked with each delivered packet (usually
+    a NIC's ``receive``).
+    """
+
+    def __init__(self, sim: Simulator, sink: Callable[[Any], None],
+                 delay_s: float = 5e-6, bandwidth_bps: float = 40e9,
+                 name: str = "link"):
+        self.sim = sim
+        self.sink = sink
+        self.delay_s = delay_s
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self._serializer = RateLimiter(
+            sim, rate=1e12,  # negligible base slot; cost_fn dominates
+            cost_fn=self._serialization_time, name=f"{name}/serializer")
+
+    def _serialization_time(self, packet) -> float:
+        return packet.wire_size * 8.0 / self.bandwidth_bps
+
+    def send(self, packet) -> None:
+        """Enqueue a packet; it arrives after serialization + delay."""
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_size
+        serialization = self._serializer.admission_delay(packet)
+        self.sim.schedule_callback(serialization + self.delay_s,
+                                   lambda: self.sink(packet))
+
+    @property
+    def utilization_window(self) -> float:
+        """Seconds of serialization backlog currently queued."""
+        return self._serializer.backlog
+
+
+class LossyLink(Link):
+    """A link that drops packets, for retransmission/fault tests.
+
+    ``drop_fn`` decides per packet; by default a deterministic
+    every-Nth-packet drop so tests are reproducible.
+    """
+
+    def __init__(self, sim: Simulator, sink: Callable[[Any], None],
+                 drop_every: int = 0,
+                 drop_fn: Optional[Callable[[Any], bool]] = None,
+                 **kwargs):
+        super().__init__(sim, sink, **kwargs)
+        self.drop_every = drop_every
+        self.drop_fn = drop_fn
+        self.dropped = 0
+
+    def send(self, packet) -> None:
+        if self.drop_fn is not None and self.drop_fn(packet):
+            self.dropped += 1
+            return
+        if self.drop_every and (self.tx_packets + 1) % self.drop_every == 0:
+            self.tx_packets += 1
+            self.dropped += 1
+            return
+        super().send(packet)

@@ -1,0 +1,183 @@
+"""Servers and network topology.
+
+A :class:`Server` bundles CPU characteristics with a NIC; a
+:class:`Network` wires servers together with links and offers a
+datapath ``send`` plus a modelled control plane for the orchestrator.
+Top-of-rack switching is folded into per-hop link delay, as the paper's
+servers all hang off the same pair of ToR switches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..sim import Simulator
+from .link import Link
+from .nic import DEFAULT_NIC_PPS, NIC
+from .packet import Packet
+
+__all__ = ["Server", "Network", "DEFAULT_CPU_HZ", "DEFAULT_HOP_DELAY_S"]
+
+#: Xeon D-1540 clock (paper §7.1).
+DEFAULT_CPU_HZ = 2.0e9
+
+#: One-way server-to-server delay through the ToR switch.  §7.3 puts
+#: the extra one-way network latency at 6--7 us; we use the midpoint.
+DEFAULT_HOP_DELAY_S = 6.5e-6
+
+#: 40 GbE data plane (paper §7.1).
+DEFAULT_BANDWIDTH_BPS = 40e9
+
+
+class Server:
+    """A commodity server hosting middlebox/replica threads."""
+
+    def __init__(self, sim: Simulator, name: str, n_cores: int = 8,
+                 cpu_hz: float = DEFAULT_CPU_HZ,
+                 nic_pps: float = DEFAULT_NIC_PPS,
+                 nic_queues: Optional[int] = None,
+                 nic_queue_depth: Optional[int] = None):
+        self.sim = sim
+        self.name = name
+        self.n_cores = n_cores
+        self.cpu_hz = cpu_hz
+        nic_kwargs = {}
+        if nic_queue_depth is not None:
+            nic_kwargs["queue_depth"] = nic_queue_depth
+        self.nic = NIC(sim, n_queues=nic_queues or n_cores,
+                       pps_capacity=nic_pps, name=f"{name}/nic",
+                       **nic_kwargs)
+        self.failed = False
+        self.region: Optional[str] = None  # set when placed in a cloud
+
+    def cycles(self, n_cycles: float) -> float:
+        """Convert CPU cycles to seconds at this server's clock."""
+        return n_cycles / self.cpu_hz
+
+    def fail(self) -> None:
+        """Fail-stop: the server stops receiving and processing."""
+        self.failed = True
+
+    def restore(self) -> None:
+        self.failed = False
+
+    def __repr__(self):
+        status = "FAILED" if self.failed else "up"
+        return f"<Server {self.name} cores={self.n_cores} {status}>"
+
+
+class Network:
+    """A set of servers and the links between them."""
+
+    def __init__(self, sim: Simulator,
+                 hop_delay_s: float = DEFAULT_HOP_DELAY_S,
+                 bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS):
+        self.sim = sim
+        self.hop_delay_s = hop_delay_s
+        self.bandwidth_bps = bandwidth_bps
+        #: Control-plane transfer rate; WAN-limited in CloudNetwork.
+        self.control_bandwidth_bps = bandwidth_bps
+        self.servers: Dict[str, Server] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.dropped_to_failed = 0
+
+    # -- construction --------------------------------------------------------
+
+    def add_server(self, name: str, **kwargs) -> Server:
+        if name in self.servers:
+            raise ValueError(f"duplicate server name {name!r}")
+        server = Server(self.sim, name, **kwargs)
+        self.servers[name] = server
+        return server
+
+    def connect(self, src: str, dst: str,
+                delay_s: Optional[float] = None,
+                bandwidth_bps: Optional[float] = None) -> Link:
+        """Create (or return) the unidirectional link src -> dst."""
+        key = (src, dst)
+        if key in self._links:
+            return self._links[key]
+        if src not in self.servers or dst not in self.servers:
+            raise KeyError(f"unknown server in {key}")
+        dst_server = self.servers[dst]
+
+        def sink(packet, _dst=dst_server):
+            if _dst.failed:
+                self.dropped_to_failed += 1
+                return
+            _dst.nic.receive(packet)
+
+        link = Link(self.sim, sink,
+                    delay_s=self.hop_delay_s if delay_s is None else delay_s,
+                    bandwidth_bps=bandwidth_bps or self.bandwidth_bps,
+                    name=f"{src}->{dst}")
+        self._links[key] = link
+        return link
+
+    def connect_all(self) -> None:
+        """Full mesh (the paper's servers share ToR switches)."""
+        names = list(self.servers)
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    self.connect(src, dst)
+
+    # -- data plane -----------------------------------------------------------
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src} -> {dst}; call connect() first") from None
+
+    def send(self, src: str, dst: str, packet: Packet) -> None:
+        """Transmit a packet from server ``src`` to server ``dst``."""
+        if self.servers[src].failed:
+            self.dropped_to_failed += 1
+            return
+        self.link(src, dst).send(packet)
+
+    def deliver_external(self, dst: str, packet: Packet) -> None:
+        """Inject traffic from outside the topology (the generator)."""
+        server = self.servers[dst]
+        if server.failed:
+            self.dropped_to_failed += 1
+            return
+        server.nic.receive(packet)
+
+    # -- control plane ----------------------------------------------------------
+
+    def control_rtt(self, src: str, dst: str) -> float:
+        """Round-trip time for control messages between two servers.
+
+        Within one site this is twice the hop delay; a cloud model can
+        override per-region delays by subclassing or monkey-patching.
+        """
+        if src == dst:
+            return 0.0
+        return 2.0 * self.hop_delay_s
+
+    def control_call(self, src: str, dst: str,
+                     handler: Callable[[], object],
+                     payload_bytes: int = 256,
+                     response_bytes: int = 256):
+        """Simulate an RPC: returns an event with the handler's result.
+
+        The handler runs on ``dst`` after a one-way delay; the result
+        arrives back at ``src`` after transfer of ``response_bytes``.
+        """
+        done = self.sim.event()
+        one_way = self.control_rtt(src, dst) / 2.0
+        transfer = ((payload_bytes + response_bytes) * 8.0 /
+                    self.control_bandwidth_bps)
+
+        def at_destination():
+            if self.servers[dst].failed:
+                # The caller's timeout logic must handle silence.
+                return
+            result = handler()
+            self.sim.schedule_callback(one_way + transfer,
+                                       lambda: done.succeed(result))
+
+        self.sim.schedule_callback(one_way, at_destination)
+        return done

@@ -1,0 +1,15 @@
+"""Orchestration: SDN-controller-style monitoring, placement, recovery."""
+
+from .cloud import CloudNetwork, SAVI_REGIONS, savi_rtt_matrix
+from .orchestrator import FailureEvent, Orchestrator
+from .placement import place_chain, validate_isolation
+
+__all__ = [
+    "CloudNetwork",
+    "FailureEvent",
+    "Orchestrator",
+    "SAVI_REGIONS",
+    "place_chain",
+    "savi_rtt_matrix",
+    "validate_isolation",
+]

@@ -1,0 +1,151 @@
+"""The central orchestrator (§3.2, §5.2).
+
+A fault-tolerant SDN controller (ONOS in the paper's implementation)
+deploys chains, reliably monitors them, detects fail-stop failures,
+and initiates recovery.  After deployment it stays off the data path.
+
+Failure detection uses heartbeat probing: the orchestrator pings every
+replica's control module each interval and declares a failure after
+``misses_allowed`` consecutive silent intervals.  Recovery then runs
+the §5.2 procedure (``repro.core.recovery``), with the initialization
+delay derived from the orchestrator-to-region control RTT -- exactly
+the dependence Fig 13 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.chain import FTCChain
+from ..core.recovery import RecoveryReport, recover_positions
+from ..sim import AnyOf, CancelledError, Interrupt, Simulator
+
+__all__ = ["Orchestrator", "FailureEvent"]
+
+#: Time to boot a replacement middlebox instance once the command
+#: arrives in-region (container start, Click config load).
+SPAWN_TIME_S = 0.3e-3
+
+#: Installing updated flow rules at the affected switches.
+REROUTE_DELAY_S = 0.5e-3
+
+
+@dataclass
+class FailureEvent:
+    """One detected failure and its recovery outcome."""
+
+    positions: List[int]
+    detected_at: float
+    detection_delay_s: float
+    report: Optional[RecoveryReport] = None
+
+    @property
+    def recovery_s(self) -> float:
+        return self.report.total_s if self.report else float("inf")
+
+
+class Orchestrator:
+    """Heartbeat monitoring + recovery coordination for one chain."""
+
+    def __init__(self, sim: Simulator, chain: FTCChain,
+                 heartbeat_interval_s: float = 2e-3,
+                 misses_allowed: int = 2,
+                 region: Optional[str] = None,
+                 name: str = "orchestrator"):
+        self.sim = sim
+        self.chain = chain
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.misses_allowed = misses_allowed
+        self.region = region
+        self.name = name
+        self.history: List[FailureEvent] = []
+        self.heartbeats_sent = 0
+        self._misses: Dict[int, int] = {}
+        self._last_seen_alive: Dict[int, float] = {}
+        self._process = None
+        self._recovering = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self._process = self.sim.process(self._monitor_loop(), name=self.name)
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stopped")
+        self._process = None
+
+    # -- orchestrator-to-region latency -----------------------------------------------
+
+    def control_rtt_to(self, position: int) -> float:
+        """RTT from the orchestrator to a chain position's region."""
+        net = self.chain.net
+        server = self.chain.route[position]
+        if self.region is not None and hasattr(net, "region_rtt"):
+            return net.region_rtt(self.region, net.region_of(server))
+        return net.control_rtt(server, server) or 2 * net.hop_delay_s
+
+    def init_delay_for(self, positions: List[int]) -> float:
+        """Fig 13's initialization delay: command RTT + instance spawn.
+
+        With several positions recovering, spawns run in parallel; the
+        farthest region dominates.
+        """
+        return max(self.control_rtt_to(p) for p in positions) + SPAWN_TIME_S
+
+    # -- monitoring ----------------------------------------------------------------------
+
+    def _ping(self, position: int):
+        """One heartbeat: an RPC that only an alive replica answers."""
+        server = self.chain.server_at(position)
+        self.heartbeats_sent += 1
+        call = self.chain.net.control_call(
+            self.chain.route[position], self.chain.route[position],
+            lambda: not server.failed, payload_bytes=64, response_bytes=64)
+        deadline = self.sim.timeout(self.heartbeat_interval_s * 0.8)
+        yield AnyOf(self.sim, [call, deadline])
+        alive = call.processed and call.ok and call.value
+        if alive:
+            self._misses[position] = 0
+            self._last_seen_alive[position] = self.sim.now
+        else:
+            self._misses[position] = self._misses.get(position, 0) + 1
+
+    def _monitor_loop(self):
+        for position in range(self.chain.n_positions):
+            self._misses[position] = 0
+            self._last_seen_alive[position] = self.sim.now
+        try:
+            while True:
+                yield self.sim.timeout(self.heartbeat_interval_s)
+                if self._recovering:
+                    continue
+                pings = [self.sim.process(self._ping(position))
+                         for position in range(self.chain.n_positions)]
+                for ping in pings:
+                    yield ping
+                failed = [position for position, misses in self._misses.items()
+                          if misses > self.misses_allowed]
+                if failed:
+                    yield from self._handle_failure(failed)
+        except (Interrupt, CancelledError):
+            return
+
+    def _handle_failure(self, positions: List[int]):
+        self._recovering = True
+        detection_delay = max(
+            self.sim.now - self._last_seen_alive[p] for p in positions)
+        event = FailureEvent(positions=list(positions),
+                             detected_at=self.sim.now,
+                             detection_delay_s=detection_delay)
+        self.history.append(event)
+        report = yield self.sim.process(recover_positions(
+            self.chain, positions,
+            init_delay_s=self.init_delay_for(positions),
+            reroute_delay_s=REROUTE_DELAY_S))
+        event.report = report
+        for position in positions:
+            self._misses[position] = 0
+            self._last_seen_alive[position] = self.sim.now
+        self._recovering = False

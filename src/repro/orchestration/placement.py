@@ -1,0 +1,46 @@
+"""Replica placement over a multi-region cloud.
+
+§3.1: "replicas of a middlebox must be deployed on separate physical
+servers" -- the chain already guarantees that.  This module assigns
+chain positions to *regions* (Fig 13's setup spreads Ch-Rec across
+SAVI regions) and validates isolation constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.chain import FTCChain
+from .cloud import CloudNetwork
+
+__all__ = ["place_chain", "validate_isolation"]
+
+
+def place_chain(chain: FTCChain, regions: Sequence[str]) -> None:
+    """Pin each chain position to a region, now and across respawns."""
+    if len(regions) != chain.n_positions:
+        raise ValueError(
+            f"need one region per position ({chain.n_positions}), "
+            f"got {len(regions)}")
+    net = chain.net
+    if not isinstance(net, CloudNetwork):
+        raise TypeError("placement requires a CloudNetwork")
+    chain.region_plan = list(regions)
+    for position, region in enumerate(regions):
+        net.place(chain.route[position], region)
+
+
+def validate_isolation(chain: FTCChain) -> List[str]:
+    """Check replica isolation; returns a list of violations (empty = ok).
+
+    Replicas of one replication group must sit on distinct servers,
+    and any server may fail without taking down more than one group
+    member.
+    """
+    violations = []
+    for index, mbox in enumerate(chain.middleboxes):
+        servers = [chain.route[pos] for pos in chain.group_positions(index)]
+        if len(set(servers)) != len(servers):
+            violations.append(
+                f"group of {mbox.name!r} shares a server: {servers}")
+    return violations

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (virtual time, processes, resources)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .randomness import RandomStreams
+from .resources import CancelledError, RateLimiter, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CancelledError",
+    "Event",
+    "Interrupt",
+    "Process",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "RandomStreams",
+    "RateLimiter",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,199 @@
+"""Queueing resources for the simulation engine.
+
+Three primitives cover every shared resource in the reproduction:
+
+* :class:`Store` -- a FIFO buffer of items (packet queues, mailboxes).
+* :class:`Resource` -- a counted resource with request/release
+  semantics (CPU cores, lock-free slots).
+* :class:`RateLimiter` -- a deterministic serial server that spaces
+  items by a service interval (NIC pps caps, link byte rates).
+
+All wait events returned by these resources can be cancelled, which
+the STM uses to revoke lock requests from wounded transactions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Store", "Resource", "RateLimiter", "CancelledError"]
+
+
+class CancelledError(Exception):
+    """A pending resource wait was cancelled."""
+
+
+class _Waiter(Event):
+    """An event in a resource's wait queue; supports cancellation."""
+
+    __slots__ = ("resource", "item")
+
+    def __init__(self, sim: Simulator, resource: Any, item: Any = None):
+        super().__init__(sim)
+        self.resource = resource
+        self.item = item
+
+    @property
+    def cancelled(self) -> bool:
+        return self.triggered and not self._ok
+
+    def cancel(self) -> None:
+        """Withdraw this wait; the waiting process sees CancelledError."""
+        if self.triggered:
+            return
+        self.fail(CancelledError())
+        self._defused = False  # still raised in the waiting process
+
+
+class Store:
+    """A FIFO item buffer with optional capacity.
+
+    ``put`` returns an event that triggers when the item is accepted
+    (immediately unless the store is full); ``get`` returns an event
+    that triggers with the next item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[_Waiter] = deque()
+        self._putters: Deque[_Waiter] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> _Waiter:
+        event = _Waiter(self.sim, self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self.is_full:
+            return False
+        self.items.append(item)
+        self._dispatch()
+        return True
+
+    def get(self) -> _Waiter:
+        event = _Waiter(self.sim, self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                if putter.triggered:
+                    continue
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            while self._getters and self.items:
+                getter = self._getters.popleft()
+                if getter.triggered:
+                    continue
+                getter.succeed(self.items.popleft())
+                progressed = True
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores) with FIFO request queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list = []
+        self._waiters: Deque[_Waiter] = deque()
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    def request(self, owner: Any = None) -> _Waiter:
+        event = _Waiter(self.sim, self, owner)
+        self._waiters.append(event)
+        self._dispatch()
+        return event
+
+    def release(self, request: _Waiter) -> None:
+        if request not in self.users:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self.users.remove(request)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            self.users.append(waiter)
+            waiter.succeed()
+
+
+class RateLimiter:
+    """A deterministic serial server.
+
+    Items are admitted no faster than ``rate`` per second; each item may
+    additionally carry a per-item service time through ``cost_fn``
+    (e.g. bytes / bandwidth).  Used for NIC packet-rate caps and link
+    serialization.
+    """
+
+    def __init__(self, sim: Simulator, rate: float,
+                 cost_fn: Optional[Callable[[Any], float]] = None,
+                 name: str = "rate-limiter"):
+        if rate <= 0:
+            raise SimulationError("rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.cost_fn = cost_fn
+        self.name = name
+        self._next_free = 0.0
+        self.admitted = 0
+
+    def admission_delay(self, item: Any = None) -> float:
+        """Reserve a service slot; returns the delay until admission."""
+        service = 1.0 / self.rate
+        if self.cost_fn is not None:
+            service += self.cost_fn(item)
+        start = max(self.sim.now, self._next_free)
+        self._next_free = start + service
+        self.admitted += 1
+        return (start + service) - self.sim.now
+
+    def admit(self, item: Any = None) -> Event:
+        """Event that fires when the item has been serviced."""
+        return self.sim.timeout(self.admission_delay(item))
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of work already queued ahead of a new arrival."""
+        return max(0.0, self._next_free - self.sim.now)

@@ -1,0 +1,25 @@
+"""Software transactional memory for packet transactions (§4.2)."""
+
+from .locks import LockStats, PartitionLock, TransactionWounded
+from .partition import DEFAULT_PARTITIONS, PartitionSpace
+from .store import StateStore, TOMBSTONE
+from .transaction import (
+    Transaction,
+    TransactionContext,
+    TransactionManager,
+    TransactionResult,
+)
+
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "LockStats",
+    "PartitionLock",
+    "PartitionSpace",
+    "StateStore",
+    "TOMBSTONE",
+    "Transaction",
+    "TransactionContext",
+    "TransactionManager",
+    "TransactionResult",
+    "TransactionWounded",
+]

@@ -1,0 +1,175 @@
+"""Tests for dependency vectors and ordered replication state."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.depvec import DependencyVector, ProtocolError, ReplicationState
+from repro.core.piggyback import CommitVector, PiggybackLog
+from repro.stm import StateStore
+
+
+class TestDependencyVector:
+    def test_stamp_returns_pre_increment_values(self):
+        vec = DependencyVector(4)
+        first = vec.stamp({1})
+        assert first == {1: 0}
+        second = vec.stamp({1, 3})
+        assert second == {1: 1, 3: 0}
+        assert vec.seq == [0, 2, 0, 1]
+
+    def test_paper_figure3_head_side(self):
+        """Reproduce Fig 3: W(1) then R(1),W(3) on vector [0,3,4]."""
+        vec = DependencyVector(3)
+        vec.load({1: 3, 2: 4})
+        vec.seq[0] = 0
+        tx1 = vec.stamp({0})          # W(partition 0) -> "0,x,x"
+        assert tx1 == {0: 0}
+        tx2 = vec.stamp({0, 2})       # R(0),W(2)      -> "1,x,4"
+        assert tx2 == {0: 1, 2: 4}
+        assert vec.seq == [2, 3, 5]
+
+    def test_snapshot_load_round_trip(self):
+        vec = DependencyVector(8)
+        vec.stamp({0, 5})
+        vec.stamp({5})
+        other = DependencyVector(8)
+        other.load(vec.snapshot())
+        assert other.seq == vec.seq
+
+
+def _log(mbox="m", depvec=None, updates=None, pid=0):
+    return PiggybackLog(mbox, depvec=depvec or {}, updates=updates or {},
+                        packet_id=pid)
+
+
+class TestReplicationState:
+    def test_in_order_apply(self):
+        state = ReplicationState("m", 4)
+        assert state.offer(_log(depvec={0: 0}, updates={"k": 1})) == 1
+        assert state.offer(_log(depvec={0: 1}, updates={"k": 2})) == 1
+        assert state.store.get("k") == 2
+        assert state.max == {0: 2}
+
+    def test_out_of_order_held_then_applied(self):
+        """Fig 3's replica side: the second log arrives first."""
+        state = ReplicationState("m", 3)
+        state.max = {0: 0, 1: 3, 2: 4}
+        late = _log(depvec={0: 1, 2: 4}, updates={"b": 2})
+        early = _log(depvec={0: 0}, updates={"a": 1})
+        assert state.offer(late) == 0          # held
+        assert len(state.pending) == 1
+        assert state.offer(early) == 2         # both apply
+        assert state.store.get("a") == 1
+        assert state.store.get("b") == 2
+        assert state.max == {0: 2, 1: 3, 2: 5}
+
+    def test_duplicate_skipped(self):
+        state = ReplicationState("m", 2)
+        log = _log(depvec={0: 0}, updates={"k": 1})
+        state.offer(log)
+        assert state.offer(_log(depvec={0: 0}, updates={"k": 1})) == 0
+        assert state.duplicates == 1
+        assert state.store.get("k") == 1
+
+    def test_noop_ignored(self):
+        state = ReplicationState("m", 2)
+        assert state.offer(_log()) == 0
+        assert state.applied == 0
+
+    def test_disjoint_partitions_commute(self):
+        state_ab = ReplicationState("m", 4)
+        state_ba = ReplicationState("m", 4)
+        log_a = _log(depvec={0: 0}, updates={"a": 1})
+        log_b = _log(depvec={1: 0}, updates={"b": 2})
+        state_ab.offer(log_a)
+        state_ab.offer(log_b)
+        state_ba.offer(log_b)
+        state_ba.offer(log_a)
+        assert state_ab.store == state_ba.store
+        assert state_ab.max == state_ba.max
+
+    def test_partial_application_detected(self):
+        state = ReplicationState("m", 4)
+        state.offer(_log(depvec={0: 0}))
+        with pytest.raises(ProtocolError):
+            state._status(_log(depvec={0: 0, 1: 1}))
+
+    def test_wrong_mbox_commit_rejected(self):
+        state = ReplicationState("m", 4)
+        with pytest.raises(ProtocolError):
+            state.absorb_commit(CommitVector("other", {}))
+
+    def test_commit_vector_full_and_delta(self):
+        state = ReplicationState("m", 4)
+        state.offer(_log(depvec={0: 0}))
+        state.offer(_log(depvec={1: 0}))
+        full = state.commit_vector()
+        assert full.entries == {0: 1, 1: 1}
+        delta = state.commit_vector(last_sent={0: 1})
+        assert delta.entries == {1: 1}
+
+    def test_pruning_drops_replicated_logs(self):
+        state = ReplicationState("m", 4)
+        state.offer(_log(depvec={0: 0}, updates={"k": 1}))
+        state.offer(_log(depvec={0: 1}, updates={"k": 2}))
+        assert len(state.retained) == 2
+        state.absorb_commit(CommitVector("m", {0: 1}))
+        assert len(state.retained) == 1    # first log pruned
+        state.absorb_commit(CommitVector("m", {0: 2}))
+        assert state.retained == []
+
+    def test_freeze_discards_pending_and_blocks(self):
+        state = ReplicationState("m", 4)
+        state.offer(_log(depvec={0: 5}))   # out of order -> pending
+        state.freeze()
+        assert state.pending == []
+        assert state.offer(_log(depvec={0: 0}, updates={"k": 1})) == 0
+        assert "k" not in state.store
+        state.thaw()
+        assert state.offer(_log(depvec={0: 0}, updates={"k": 1})) == 1
+
+    def test_export_import_round_trip(self):
+        src = ReplicationState("m", 4)
+        src.offer(_log(depvec={0: 0}, updates={"k": 1}))
+        dst = ReplicationState("m", 4)
+        dst.import_state(*src.export_state())
+        assert dst.store == src.store
+        assert dst.max == src.max
+        assert len(dst.retained) == 1
+
+    def test_any_arrival_order_converges(self):
+        """Property: a replica applying a causal log set in any arrival
+        order reaches the head's store (the heart of §4.3)."""
+        head_vec = DependencyVector(4)
+        head_store = StateStore()
+        logs = []
+        rng = random.Random(3)
+        for i in range(12):
+            keys = rng.sample(["a", "b", "c", "d"], rng.randint(1, 2))
+            partitions = {hash(k) % 4 for k in keys}
+            updates = {k: (i, k) for k in keys}
+            head_store.apply_many(updates)
+            logs.append(_log(depvec=head_vec.stamp(partitions),
+                             updates=updates, pid=i))
+        for _trial in range(20):
+            shuffled = logs[:]
+            rng.shuffle(shuffled)
+            state = ReplicationState("m", 4)
+            applied = state.offer_all(shuffled)
+            assert applied == len(logs)
+            assert state.pending == []
+            assert state.store == head_store
+
+    @settings(max_examples=30)
+    @given(st.permutations(list(range(8))))
+    def test_single_partition_total_order(self, order):
+        """Logs on one partition apply in sequence-number order always."""
+        logs = [_log(depvec={0: i}, updates={"v": i}) for i in range(8)]
+        state = ReplicationState("m", 1)
+        for index in order:
+            state.offer(logs[index])
+        assert state.store.get("v") == 7
+        assert state.max == {0: 8}

@@ -1,0 +1,113 @@
+"""Tests for piggyback logs, commit vectors, and messages."""
+
+import pytest
+
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.piggyback import (
+    CommitVector,
+    PiggybackLog,
+    PiggybackMessage,
+    value_bytes,
+)
+
+
+class TestValueBytes:
+    def test_primitives(self):
+        assert value_bytes(None) == 1
+        assert value_bytes(True) == 1
+        assert value_bytes(7) == 8
+        assert value_bytes(3.14) == 8
+        assert value_bytes(b"abcd") == 4
+        assert value_bytes("hello") == 5
+
+    def test_containers(self):
+        assert value_bytes((1, 2)) == 16
+        assert value_bytes([b"ab", b"c"]) == 3
+
+    def test_nat_record_is_paper_sized(self):
+        """§7.2 sizes a NAT record at ~32 B; our estimate should agree."""
+        record = (3405803776, 134744072, 10000, 80)  # ext ip, dst ip, ports
+        assert 24 <= value_bytes(record) <= 40
+
+
+class TestPiggybackLog:
+    def test_noop_detection(self):
+        assert PiggybackLog("m").is_noop
+        assert not PiggybackLog("m", depvec={0: 1}).is_noop
+        assert not PiggybackLog("m", updates={"k": 1}).is_noop
+
+    def test_byte_size_scales_with_updates(self):
+        small = PiggybackLog("m", depvec={0: 1}, updates={"k": b"x" * 8})
+        large = PiggybackLog("m", depvec={0: 1}, updates={"k": b"x" * 64})
+        assert large.byte_size() - small.byte_size() == 56
+
+    def test_byte_size_includes_depvec_entries(self):
+        one = PiggybackLog("m", depvec={0: 1})
+        two = PiggybackLog("m", depvec={0: 1, 1: 2})
+        assert two.byte_size() - one.byte_size() == DEFAULT_COSTS.depvec_entry_bytes
+
+    def test_log_ids_unique(self):
+        assert PiggybackLog("m").log_id != PiggybackLog("m").log_id
+
+
+class TestCommitVector:
+    def test_covers_requires_post_increment(self):
+        commit = CommitVector("m", {0: 3})
+        assert commit.covers({0: 2})   # applied: MAX advanced past 2
+        assert not commit.covers({0: 3})
+        assert commit.covers({})       # no dependencies
+
+    def test_covers_all_entries(self):
+        commit = CommitVector("m", {0: 3, 1: 1})
+        assert commit.covers({0: 2, 1: 0})
+        assert not commit.covers({0: 2, 1: 1})
+
+    def test_missing_partition_not_covered(self):
+        assert not CommitVector("m", {}).covers({5: 0})
+
+    def test_merge_takes_elementwise_max(self):
+        target = {0: 5, 1: 2}
+        CommitVector("m", {0: 3, 1: 4, 2: 1}).merge_into(target)
+        assert target == {0: 5, 1: 4, 2: 1}
+
+    def test_byte_size(self):
+        empty = CommitVector("m", {})
+        assert (CommitVector("m", {0: 1}).byte_size() - empty.byte_size()
+                == DEFAULT_COSTS.depvec_entry_bytes)
+
+
+class TestPiggybackMessage:
+    def test_add_and_take_logs(self):
+        msg = PiggybackMessage()
+        log_a = PiggybackLog("a", depvec={0: 0})
+        log_b = PiggybackLog("b", depvec={0: 0})
+        msg.add_logs([log_a, log_b])
+        assert msg.n_logs == 2
+        assert msg.take_logs("a") == [log_a]
+        assert msg.n_logs == 1
+        assert msg.take_logs("a") == []
+
+    def test_logs_for_preserves_order(self):
+        msg = PiggybackMessage()
+        logs = [PiggybackLog("m", depvec={0: i}) for i in range(3)]
+        msg.add_logs(logs)
+        assert msg.logs_for("m") == logs
+
+    def test_commit_replacement(self):
+        msg = PiggybackMessage()
+        msg.set_commit(CommitVector("m", {0: 1}))
+        msg.set_commit(CommitVector("m", {0: 2}))
+        assert msg.commit_for("m").entries == {0: 2}
+        assert msg.commit_for("other") is None
+
+    def test_byte_size_accumulates(self):
+        msg = PiggybackMessage()
+        base = msg.byte_size()
+        log = PiggybackLog("m", depvec={0: 1}, updates={"k": b"1234"})
+        msg.add_log(log)
+        assert msg.byte_size() == base + log.byte_size()
+
+    def test_state_bytes_counts_values_only(self):
+        msg = PiggybackMessage()
+        msg.add_log(PiggybackLog("m", depvec={0: 1}, updates={"k": b"12345678"}))
+        assert msg.state_bytes() == 8

@@ -1,0 +1,120 @@
+"""Property-based tests over random chain configurations.
+
+Hypothesis drives chain shape (length, f, threads, middlebox mix) and
+traffic volume; the invariants of DESIGN.md §5 must hold for every
+configuration: complete release without failures, store convergence
+across every replication group, no pending logs after drain.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FTCChain
+from repro.core.costs import CostModel
+from repro.metrics import EgressRecorder
+from repro.middlebox import Firewall, Gen, Monitor, SimpleNAT
+from repro.net import TrafficGenerator, balanced_flows
+from repro.sim import Simulator
+
+FAST_COSTS = CostModel(cycle_jitter_frac=0.0)
+
+
+def _middlebox(kind: str, index: int, n_threads: int):
+    if kind == "monitor":
+        return Monitor(name=f"mb{index}", sharing_level=1,
+                       n_threads=n_threads)
+    if kind == "monitor-shared":
+        return Monitor(name=f"mb{index}", sharing_level=n_threads,
+                       n_threads=n_threads)
+    if kind == "gen":
+        return Gen(name=f"mb{index}", state_size=32)
+    if kind == "nat":
+        return SimpleNAT(name=f"mb{index}")
+    return Firewall(name=f"mb{index}")
+
+
+chain_configs = st.fixed_dictionaries({
+    "kinds": st.lists(
+        st.sampled_from(["monitor", "monitor-shared", "gen", "nat",
+                         "firewall"]),
+        min_size=1, max_size=4),
+    "f": st.integers(min_value=0, max_value=2),
+    "n_threads": st.sampled_from([1, 2]),
+    "count": st.integers(min_value=20, max_value=150),
+    "seed": st.integers(min_value=0, max_value=10_000),
+})
+
+
+@settings(max_examples=12, deadline=None)
+@given(config=chain_configs)
+def test_random_chain_full_protocol_invariants(config):
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    middleboxes = [_middlebox(kind, i, config["n_threads"])
+                   for i, kind in enumerate(config["kinds"])]
+    chain = FTCChain(sim, middleboxes, f=config["f"], deliver=egress,
+                     costs=FAST_COSTS, n_threads=config["n_threads"],
+                     seed=config["seed"])
+    chain.start()
+    TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                     flows=balanced_flows(8, config["n_threads"]),
+                     count=config["count"], streams=None)
+    sim.run(until=0.03)  # generous drain (includes propagating timers)
+
+    # 1. Complete release: every data packet that no middlebox filtered
+    #    leaves the chain (our random mixes never filter).
+    assert chain.total_released() == config["count"]
+
+    # 2. Store convergence: all f+1 replicas of every middlebox agree.
+    for index, mbox in enumerate(middleboxes):
+        stores = [chain.store_of(mbox.name, pos)
+                  for pos in chain.group_positions(index)]
+        assert all(store == stores[0] for store in stores), (
+            f"group of {mbox.name} diverged under {config}")
+
+    # 3. No pending (out-of-order) logs after drain.
+    for replica in chain.replicas:
+        for state in replica.states.values():
+            assert state.pending == []
+
+    # 4. Memory bounded: retained logs pruned close to empty.
+    for replica in chain.replicas:
+        for state in replica.states.values():
+            assert len(state.retained) <= config["count"]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    f=st.integers(min_value=1, max_value=2),
+    count=st.integers(min_value=30, max_value=100),
+    fail_position=st.integers(min_value=0, max_value=2),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_random_failure_never_loses_released_state(f, count, fail_position,
+                                                   seed):
+    """After any single failure + recovery, every group store holds at
+    least the updates of every released packet."""
+    from repro.core import recover_positions
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    middleboxes = [Monitor(name=f"m{i}", sharing_level=1, n_threads=2)
+                   for i in range(3)]
+    chain = FTCChain(sim, middleboxes, f=f, deliver=egress,
+                     costs=FAST_COSTS, n_threads=2, seed=seed)
+    chain.start()
+    gen = TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                           flows=balanced_flows(8, 2))
+
+    def chaos(sim):
+        yield sim.timeout(0.5e-3 + (seed % 7) * 0.2e-3)
+        chain.fail_position(fail_position)
+        yield sim.process(recover_positions(chain, [fail_position]))
+
+    sim.process(chaos(sim))
+    sim.run(until=0.02)
+    gen.stop()
+    sim.run(until=0.03)
+
+    released = chain.total_released()
+    for index, mbox in enumerate(middleboxes):
+        for pos in chain.group_positions(index):
+            assert mbox.total_count(chain.store_of(mbox.name, pos)) >= released

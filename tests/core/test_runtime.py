@@ -1,0 +1,140 @@
+"""Tests for the head runtime (transaction + depvec stamping + logs)."""
+
+import pytest
+
+from repro.core import DEFAULT_COSTS, MiddleboxRuntime, ReplicationState
+from repro.core.costs import CostModel
+from repro.middlebox import DROP, Firewall, Gen, Monitor, PASS, Rule
+from repro.net import FlowKey, Packet, ip
+from repro.sim import Simulator
+
+
+def _runtime(sim, mbox, costs=None, **kwargs):
+    costs = costs or DEFAULT_COSTS
+    state = ReplicationState(mbox.name, costs.n_partitions)
+    return MiddleboxRuntime(sim, mbox, state, costs=costs, **kwargs)
+
+
+def _pkt(sport=1000):
+    return Packet(flow=FlowKey(ip("10.0.0.1"), ip("8.8.8.8"), sport, 80))
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+class TestMiddleboxRuntime:
+    def test_write_transaction_produces_log(self):
+        sim = Simulator()
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1))
+        verdict, log = run(sim, runtime.process(_pkt(), thread_id=0))
+        assert verdict is PASS
+        assert log is not None and not log.is_noop
+        assert log.updates == {("count", 0): 1}
+        assert log.depvec  # stamped
+
+    def test_depvec_advances_per_write(self):
+        sim = Simulator()
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1))
+        _, first = run(sim, runtime.process(_pkt(), thread_id=0))
+        _, second = run(sim, runtime.process(_pkt(), thread_id=0))
+        (partition,) = first.depvec
+        assert first.depvec[partition] == 0
+        assert second.depvec[partition] == 1
+
+    def test_head_records_own_log_locally(self):
+        sim = Simulator()
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1))
+        run(sim, runtime.process(_pkt(), thread_id=0))
+        assert runtime.state.applied == 1
+        assert len(runtime.state.retained) == 1
+        assert runtime.state.max == {p: s + 1 for p, s in
+                                     runtime.depvec.snapshot().items()} or \
+            runtime.state.max  # max equals post-increment vector
+        assert runtime.state.max == {list(runtime.state.max)[0]: 1}
+
+    def test_read_only_transaction_noop_log(self):
+        sim = Simulator()
+        gen = Gen(name="g", state_size=16)
+        runtime = _runtime(sim, gen)
+        pkt = _pkt()
+        run(sim, runtime.process(pkt, thread_id=0))
+
+        class ReadOnly(Monitor):
+            def process(self, packet, ctx):
+                ctx.read(("blob", 0))
+                return PASS
+
+        ro_runtime = MiddleboxRuntime(sim, ReadOnly(name="ro", n_threads=1),
+                                      runtime.state)
+        verdict, log = run(sim, ro_runtime.process(_pkt(), thread_id=0))
+        assert log is not None and log.is_noop
+        # Reads are not replicated (no depvec, no updates).
+        assert log.updates == {} and log.depvec == {}
+
+    def test_stateless_middlebox_skips_stm(self):
+        sim = Simulator()
+        fw = Firewall(name="fw", rules=[Rule(action="deny", dst_port=23)])
+        runtime = _runtime(sim, fw)
+        verdict, log = run(sim, runtime.process(_pkt(), thread_id=0))
+        assert verdict is PASS and log is None
+        assert runtime.manager.committed == 0
+
+    def test_drop_verdict_passes_through(self):
+        sim = Simulator()
+        fw = Firewall(name="fw", default_action="deny")
+        runtime = _runtime(sim, fw)
+        verdict, log = run(sim, runtime.process(_pkt(), thread_id=0))
+        assert verdict is DROP
+
+    def test_hold_time_charged(self):
+        sim = Simulator()
+        costs = CostModel(cycle_jitter_frac=0.0)
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1), costs=costs)
+        run(sim, runtime.process(_pkt(), thread_id=0))
+        minimum = costs.cycles_to_seconds(
+            costs.processing_cycles + costs.locking_cycles)
+        assert sim.now >= minimum
+
+    def test_cycle_counters_track_table2_components(self):
+        sim = Simulator()
+        costs = CostModel(cycle_jitter_frac=0.0)
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1), costs=costs)
+        for _ in range(10):
+            run(sim, runtime.process(_pkt(), thread_id=0))
+        assert runtime.counters.per_packet("processing") == pytest.approx(355.0)
+        assert runtime.counters.per_packet("locking") == pytest.approx(152.0)
+        assert runtime.counters.per_packet("piggyback_copy") > 0
+
+    def test_replicate_false_produces_no_log(self):
+        sim = Simulator()
+        runtime = _runtime(sim, Monitor(name="m", n_threads=1), replicate=False)
+        verdict, log = run(sim, runtime.process(_pkt(), thread_id=0))
+        assert verdict is PASS and log is None
+        assert runtime.state.store.get(("count", 0)) == 1  # still processed
+
+    def test_concurrent_heads_stamp_disjoint_sequences(self):
+        """Two threads on one shared counter: logs must totally order."""
+        sim = Simulator()
+        runtime = _runtime(sim, Monitor(name="m", sharing_level=2, n_threads=2))
+        logs = []
+
+        def worker(tid):
+            for _ in range(5):
+                _, log = yield from runtime.process(_pkt(sport=tid), tid)
+                logs.append(log)
+
+        sim.process(worker(0))
+        sim.process(worker(1))
+        sim.run()
+        (partition,) = {p for log in logs for p in log.depvec}
+        seqs = sorted(log.depvec[partition] for log in logs)
+        assert seqs == list(range(10))
+
+    def test_custom_processing_cycles_override(self):
+        sim = Simulator()
+        costs = CostModel(cycle_jitter_frac=0.0)
+        slow = Monitor(name="m", n_threads=1, processing_cycles=10000)
+        runtime = _runtime(sim, slow, costs=costs)
+        run(sim, runtime.process(_pkt(), thread_id=0))
+        assert sim.now >= costs.cycles_to_seconds(10000)

@@ -1,0 +1,224 @@
+"""Tests for meters, statistics, and report formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    EgressRecorder,
+    LatencySampler,
+    ThroughputMeter,
+    cdf_points,
+    confidence_interval95,
+    format_series,
+    format_table,
+    mean,
+    percentile,
+    stdev,
+)
+from repro.net import FlowKey, Packet
+from repro.sim import Simulator
+
+
+def _pkt(created_at=0.0, size=256):
+    return Packet(flow=FlowKey(1, 2, 3, 4), size=size, created_at=created_at)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_constant_is_zero(self):
+        assert stdev([5, 5, 5]) == 0
+
+    def test_stdev_single_sample(self):
+        assert stdev([7]) == 0.0
+
+    def test_percentile_bounds(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == 50
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_percentile_within_data_range(self, data):
+        for q in (0, 25, 50, 75, 100):
+            assert min(data) <= percentile(data, q) <= max(data)
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3, 1, 2, 5, 4], n_points=5)
+        values = [v for v, _ in points]
+        fracs = [f for _, f in points]
+        assert values == sorted(values)
+        assert fracs[-1] == 1.0
+        assert all(0 < f <= 1 for f in fracs)
+
+    def test_cdf_subsampling(self):
+        points = cdf_points(list(range(1000)), n_points=10)
+        assert len(points) == 10
+
+    def test_confidence_interval(self):
+        center, half = confidence_interval95([10.0] * 20)
+        assert center == 10.0 and half == 0.0
+        center, half = confidence_interval95([1.0, 2.0, 3.0, 4.0])
+        assert half > 0
+
+
+class TestThroughputMeter:
+    def test_rate_over_window(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def feed(sim):
+            for _ in range(100):
+                yield sim.timeout(1e-6)
+                meter.record(_pkt())
+
+        sim.process(feed(sim))
+        sim.run()
+        assert meter.rate_pps() == pytest.approx(1e6, rel=0.05)
+
+    def test_start_window_discards_warmup(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def feed(sim):
+            for i in range(100):
+                yield sim.timeout(1e-6)
+                meter.record(_pkt())
+                if i == 49:
+                    meter.start_window()
+
+        sim.process(feed(sim))
+        sim.run()
+        assert meter.count == 50
+
+    def test_gbps(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def feed(sim):
+            yield sim.timeout(1e-3)
+            for _ in range(1000):
+                meter.record(_pkt(size=1250))
+            yield sim.timeout(1e-3)
+            meter.mark()
+
+        meter.start_window()
+        sim.process(feed(sim))
+        sim.run()
+        # 1000 * 1250 B over 2 ms = 5 Gbps... computed over elapsed.
+        assert meter.rate_gbps() == pytest.approx(
+            1000 * 1250 * 8 / meter.elapsed / 1e9)
+
+    def test_interval_rates(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def feed(sim):
+            meter.mark()
+            for _ in range(10):
+                meter.record(_pkt())
+            yield sim.timeout(1e-3)
+            meter.mark()
+            for _ in range(30):
+                meter.record(_pkt())
+            yield sim.timeout(1e-3)
+            meter.mark()
+
+        sim.process(feed(sim))
+        sim.run()
+        rates = meter.interval_rates_pps()
+        assert len(rates) == 2
+        assert rates[0] == pytest.approx(10e3)
+        assert rates[1] == pytest.approx(30e3)
+
+
+class TestLatencySampler:
+    def test_records_sojourn_time(self):
+        sim = Simulator()
+        sampler = LatencySampler(sim)
+
+        def feed(sim):
+            pkt = _pkt(created_at=sim.now)
+            yield sim.timeout(100e-6)
+            sampler.record(pkt)
+
+        sim.process(feed(sim))
+        sim.run()
+        assert sampler.mean_us() == pytest.approx(100.0)
+
+    def test_warmup_filtering(self):
+        sim = Simulator()
+        sampler = LatencySampler(sim)
+        sampler.start_after(1.0)
+
+        def feed(sim):
+            early = _pkt(created_at=0.5)
+            yield sim.timeout(2.0)
+            sampler.record(early)
+            sampler.record(_pkt(created_at=1.5))
+
+        sim.process(feed(sim))
+        sim.run()
+        assert len(sampler) == 1
+
+    def test_cdf_in_microseconds(self):
+        sim = Simulator()
+        sampler = LatencySampler(sim)
+        sampler.samples = [1e-6, 2e-6, 3e-6]
+        points = sampler.cdf_us()
+        assert points[-1] == (3.0, 1.0)
+
+
+class TestEgressRecorder:
+    def test_combines_meters(self):
+        sim = Simulator()
+        egress = EgressRecorder(sim, keep_packets=True)
+        egress(_pkt())
+        egress(_pkt())
+        assert egress.count == 2
+        assert len(egress.packets) == 2
+        assert len(egress.latency) == 2
+
+    def test_by_flow_counts(self):
+        sim = Simulator()
+        egress = EgressRecorder(sim)
+        flow = FlowKey(1, 2, 3, 4)
+        for _ in range(3):
+            egress(Packet(flow=flow))
+        assert egress.by_flow[flow] == 3
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [10, 20]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [10.5, 20.25],
+                             x_label="x", y_label="y")
+        assert "s" in text
+        assert "10.5" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])

@@ -1,0 +1,77 @@
+"""Tests for Table 1 chain factories and the middlebox registry."""
+
+import pytest
+
+from repro.middlebox import (
+    Firewall,
+    Gen,
+    Monitor,
+    SimpleNAT,
+    available,
+    ch_gen,
+    ch_n,
+    ch_rec,
+    create,
+    register,
+)
+from repro.middlebox.base import Middlebox
+
+
+class TestChains:
+    def test_ch_n_builds_monitors(self):
+        chain = ch_n(5)
+        assert len(chain) == 5
+        assert all(isinstance(m, Monitor) for m in chain)
+        assert [m.name for m in chain] == [f"monitor{i}" for i in range(1, 6)]
+
+    def test_ch_n_sharing_level_propagates(self):
+        chain = ch_n(2, sharing_level=8)
+        assert all(m.sharing_level == 8 for m in chain)
+
+    def test_ch_n_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ch_n(0)
+
+    def test_ch_gen_two_gens(self):
+        chain = ch_gen(state_size=128)
+        assert [type(m) for m in chain] == [Gen, Gen]
+        assert all(m.state_size == 128 for m in chain)
+
+    def test_ch_rec_composition(self):
+        chain = ch_rec()
+        assert [type(m) for m in chain] == [Firewall, Monitor, SimpleNAT]
+
+    def test_names_unique_within_chain(self):
+        for chain in (ch_n(5), ch_gen(), ch_rec()):
+            names = [m.name for m in chain]
+            assert len(names) == len(set(names))
+
+
+class TestRegistry:
+    def test_create_known_kinds(self):
+        for kind in available():
+            box = create(kind)
+            assert isinstance(box, Middlebox)
+
+    def test_create_with_kwargs(self):
+        monitor = create("monitor", sharing_level=2, n_threads=8)
+        assert monitor.sharing_level == 2
+
+    def test_unknown_kind_lists_available(self):
+        with pytest.raises(ValueError, match="monitor"):
+            create("nonexistent")
+
+    def test_register_custom(self):
+        class Custom(Middlebox):
+            def process(self, packet, ctx):
+                from repro.middlebox import PASS
+                return PASS
+
+        register("custom-test", Custom)
+        try:
+            assert isinstance(create("custom-test", name="c"), Custom)
+            with pytest.raises(ValueError):
+                register("custom-test", Custom)
+        finally:
+            from repro.middlebox import registry
+            registry._FACTORIES.pop("custom-test")

@@ -1,0 +1,268 @@
+"""Tests for the Table 1 middleboxes against a plain transaction context."""
+
+import pytest
+
+from repro.middlebox import (
+    DROP,
+    Firewall,
+    Gen,
+    LoadBalancer,
+    MazuNAT,
+    Monitor,
+    PASS,
+    Rule,
+    SimpleNAT,
+)
+from repro.net import FlowKey, Packet, format_ip, ip
+from repro.stm import StateStore, TransactionContext
+
+
+def _ctx(store=None, thread_id=0):
+    return TransactionContext(store or StateStore(), thread_id=thread_id)
+
+
+def _pkt(src="10.0.0.5", dst="8.8.8.8", sport=5555, dport=80, size=256):
+    return Packet(flow=FlowKey(ip(src), ip(dst), sport, dport), size=size)
+
+
+class TestMazuNAT:
+    def test_outbound_translation_allocates_mapping(self):
+        nat = MazuNAT()
+        store = StateStore()
+        ctx = _ctx(store)
+        out = nat.process(_pkt(), ctx)
+        assert isinstance(out, Packet)
+        assert format_ip(out.flow.src_ip) == "203.0.113.1"
+        assert out.flow.src_port == 10000
+        assert ctx.writes  # mapping + cursor recorded
+
+    def test_same_flow_reuses_mapping(self):
+        nat = MazuNAT()
+        store = StateStore()
+        first_ctx = _ctx(store)
+        first = nat.process(_pkt(), first_ctx)
+        store.apply_many(first_ctx.writes)
+
+        second_ctx = _ctx(store)
+        second = nat.process(_pkt(), second_ctx)
+        assert second.flow.src_port == first.flow.src_port
+        assert not second_ctx.writes  # read-only on later packets
+
+    def test_distinct_flows_distinct_ports(self):
+        nat = MazuNAT()
+        store = StateStore()
+        ports = set()
+        for sport in (1000, 1001, 1002):
+            ctx = _ctx(store)
+            out = nat.process(_pkt(sport=sport), ctx)
+            store.apply_many(ctx.writes)
+            ports.add(out.flow.src_port)
+        assert len(ports) == 3
+
+    def test_connection_persistence_round_trip(self):
+        """Return traffic must translate back to the internal flow."""
+        nat = MazuNAT()
+        store = StateStore()
+        ctx = _ctx(store)
+        outbound = nat.process(_pkt(), ctx)
+        store.apply_many(ctx.writes)
+
+        reply = Packet(flow=outbound.flow.reversed())
+        back = nat.process(reply, _ctx(store))
+        assert isinstance(back, Packet)
+        assert back.flow == _pkt().flow.reversed()
+
+    def test_unsolicited_inbound_dropped(self):
+        nat = MazuNAT()
+        pkt = Packet(flow=FlowKey(ip("8.8.8.8"), ip("203.0.113.1"), 80, 40000))
+        assert nat.process(pkt, _ctx()) is DROP
+
+    def test_port_pool_exhaustion_drops(self):
+        nat = MazuNAT(first_port=10000, last_port=10001)
+        store = StateStore()
+        for sport, expect_drop in ((1, False), (2, False), (3, True)):
+            ctx = _ctx(store)
+            verdict = nat.process(_pkt(sport=sport), ctx)
+            store.apply_many(ctx.writes)
+            assert (verdict is DROP) == expect_drop
+
+    def test_translation_preserves_pid_and_meta(self):
+        nat = MazuNAT()
+        pkt = _pkt()
+        pkt.meta["t0"] = 1.25
+        out = nat.process(pkt, _ctx())
+        assert out.pid == pkt.pid
+        assert out.meta["t0"] == 1.25
+
+    def test_deterministic_reexecution(self):
+        """Running the body twice on the same store yields identical writes."""
+        nat = MazuNAT()
+        store = StateStore()
+        first, second = _ctx(store), _ctx(store)
+        nat.process(_pkt(), first)
+        nat.process(_pkt(), second)
+        assert first.writes == second.writes
+
+
+class TestSimpleNAT:
+    def test_translates_and_records(self):
+        nat = SimpleNAT()
+        store = StateStore()
+        ctx = _ctx(store)
+        out = nat.process(_pkt(), ctx)
+        assert out.flow.src_port == 20000
+        assert format_ip(out.flow.src_ip) == "203.0.113.2"
+
+    def test_sequential_allocation(self):
+        nat = SimpleNAT()
+        store = StateStore()
+        ports = []
+        for sport in range(3):
+            ctx = _ctx(store)
+            ports.append(nat.process(_pkt(sport=sport), ctx).flow.src_port)
+            store.apply_many(ctx.writes)
+        assert ports == [20000, 20001, 20002]
+
+
+class TestMonitor:
+    def test_counts_per_thread_group(self):
+        monitor = Monitor(sharing_level=1, n_threads=8)
+        store = StateStore()
+        for thread in range(8):
+            ctx = _ctx(store, thread_id=thread)
+            assert monitor.process(_pkt(), ctx) is PASS
+            store.apply_many(ctx.writes)
+        assert monitor.total_count(store) == 8
+        assert store.get(("count", 3)) == 1
+
+    def test_sharing_level_groups_threads(self):
+        monitor = Monitor(sharing_level=4, n_threads=8)
+        assert monitor.group_of(0) == monitor.group_of(3) == 0
+        assert monitor.group_of(4) == monitor.group_of(7) == 1
+
+    def test_sharing_level_8_single_variable(self):
+        monitor = Monitor(sharing_level=8, n_threads=8)
+        store = StateStore()
+        for thread in range(8):
+            ctx = _ctx(store, thread_id=thread)
+            monitor.process(_pkt(), ctx)
+            store.apply_many(ctx.writes)
+        assert store.get(("count", 0)) == 8
+        assert monitor.total_count(store) == 8
+
+    def test_invalid_sharing_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Monitor(sharing_level=0)
+        with pytest.raises(ValueError):
+            Monitor(sharing_level=16, n_threads=8)
+        with pytest.raises(ValueError):
+            Monitor(sharing_level=3, n_threads=8)
+
+    def test_byte_counting_mode(self):
+        monitor = Monitor(sharing_level=1, count_bytes=True)
+        store = StateStore()
+        ctx = _ctx(store)
+        monitor.process(_pkt(size=500), ctx)
+        store.apply_many(ctx.writes)
+        assert store.get(("bytes", 0)) == 500
+
+
+class TestGen:
+    def test_writes_exact_state_size(self):
+        gen = Gen(state_size=128)
+        ctx = _ctx()
+        gen.process(_pkt(), ctx)
+        (value,) = ctx.writes.values()
+        assert len(value) == 128
+
+    def test_write_every_packet(self):
+        gen = Gen(state_size=16)
+        store = StateStore()
+        for _ in range(5):
+            ctx = _ctx(store)
+            gen.process(_pkt(), ctx)
+            assert ctx.writes
+            store.apply_many(ctx.writes)
+
+    def test_deterministic_per_packet(self):
+        gen = Gen(state_size=8)
+        pkt = _pkt()
+        a, b = _ctx(), _ctx()
+        gen.process(pkt, a)
+        gen.process(pkt, b)
+        assert a.writes == b.writes
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Gen(state_size=0)
+
+
+class TestFirewall:
+    def test_stateless_flag_and_no_state_access(self):
+        fw = Firewall()
+        ctx = _ctx()
+        assert fw.stateless
+        fw.process(_pkt(), ctx)
+        assert not ctx.writes and not ctx.reads
+
+    def test_first_match_wins(self):
+        fw = Firewall(rules=[
+            Rule(action="deny", dst_port=22),
+            Rule(action="allow", dst_port=22),
+        ])
+        assert fw.process(_pkt(dport=22), _ctx()) is DROP
+
+    def test_default_allow_and_deny(self):
+        assert Firewall().process(_pkt(), _ctx()) is PASS
+        assert Firewall(default_action="deny").process(_pkt(), _ctx()) is DROP
+
+    def test_wildcard_fields(self):
+        rule = Rule(action="deny", src_ip=ip("10.0.0.5"))
+        fw = Firewall(rules=[rule])
+        assert fw.process(_pkt(src="10.0.0.5"), _ctx()) is DROP
+        assert fw.process(_pkt(src="10.0.0.6"), _ctx()) is PASS
+
+    def test_drop_counter(self):
+        fw = Firewall(rules=[Rule(action="deny", dst_port=23)])
+        fw.process(_pkt(dport=23), _ctx())
+        fw.process(_pkt(dport=80), _ctx())
+        assert fw.packets_dropped == 1
+        assert fw.packets_processed == 2
+
+    def test_invalid_default_action(self):
+        with pytest.raises(ValueError):
+            Firewall(default_action="reject")
+
+
+class TestLoadBalancer:
+    def test_flow_stickiness(self):
+        lb = LoadBalancer(backends=["192.168.1.1", "192.168.1.2"])
+        store = StateStore()
+        first_ctx = _ctx(store)
+        first = lb.process(_pkt(), first_ctx)
+        store.apply_many(first_ctx.writes)
+        second = lb.process(_pkt(), _ctx(store))
+        assert first.flow.dst_ip == second.flow.dst_ip
+
+    def test_round_robin_across_flows(self):
+        lb = LoadBalancer(backends=["192.168.1.1", "192.168.1.2"])
+        store = StateStore()
+        dests = []
+        for sport in range(4):
+            ctx = _ctx(store)
+            dests.append(lb.process(_pkt(sport=sport), ctx).flow.dst_ip)
+            store.apply_many(ctx.writes)
+        assert dests == [ip("192.168.1.1"), ip("192.168.1.2")] * 2
+
+    def test_connection_counts(self):
+        lb = LoadBalancer(backends=["192.168.1.1"])
+        store = StateStore()
+        for sport in range(3):
+            ctx = _ctx(store)
+            lb.process(_pkt(sport=sport), ctx)
+            store.apply_many(ctx.writes)
+        assert store.get(("conns", ip("192.168.1.1"))) == 3
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalancer(backends=[])

@@ -1,0 +1,135 @@
+"""Tests for the multi-region cloud model and placement."""
+
+import pytest
+
+from repro.core import FTCChain
+from repro.core.costs import CostModel
+from repro.middlebox import ch_rec
+from repro.net import Network
+from repro.orchestration import (
+    CloudNetwork,
+    SAVI_REGIONS,
+    place_chain,
+    savi_rtt_matrix,
+    validate_isolation,
+)
+from repro.sim import Simulator
+
+COSTS = CostModel(cycle_jitter_frac=0.0)
+
+
+class TestCloudNetwork:
+    def test_rtt_matrix_symmetric_and_complete(self):
+        matrix = savi_rtt_matrix()
+        for a in SAVI_REGIONS:
+            for b in SAVI_REGIONS:
+                assert matrix[a][b] == matrix[b][a]
+                assert matrix[a][b] > 0
+
+    def test_intra_region_is_fast(self):
+        matrix = savi_rtt_matrix()
+        for region in SAVI_REGIONS:
+            assert matrix[region][region] < 2e-3
+
+    def test_control_rtt_uses_regions(self):
+        sim = Simulator()
+        net = CloudNetwork(sim, rtt_jitter_frac=0.0)
+        net.add_server("a")
+        net.add_server("b")
+        net.place("a", "core")
+        net.place("b", "remote")
+        assert net.control_rtt("a", "b") == pytest.approx(49.5e-3)
+
+    def test_control_rtt_jitter_reproducible(self):
+        def sample(seed):
+            sim = Simulator()
+            net = CloudNetwork(sim, seed=seed)
+            net.add_server("a")
+            net.add_server("b")
+            net.place("a", "core")
+            net.place("b", "remote")
+            return [net.control_rtt("a", "b") for _ in range(5)]
+
+        assert sample(1) == sample(1)
+        assert sample(1) != sample(2)
+
+    def test_unplaced_server_defaults_to_first_region(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        net.add_server("a")
+        assert net.region_of("a") == SAVI_REGIONS[0]
+
+    def test_unknown_region_rejected(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        net.add_server("a")
+        with pytest.raises(ValueError):
+            net.place("a", "mars")
+
+    def test_wan_bandwidth_slows_control_transfers(self):
+        sim = Simulator()
+        net = CloudNetwork(sim, wan_bandwidth_bps=1e9, rtt_jitter_frac=0.0)
+        net.add_server("a")
+        net.add_server("b")
+        net.place("a", "core")
+        net.place("b", "neighbor")
+        results = []
+
+        def call(sim):
+            yield net.control_call("a", "b", lambda: "x",
+                                   response_bytes=10_000_000)
+            results.append(sim.now)
+
+        sim.process(call(sim))
+        sim.run()
+        # 10 MB at 1 Gbps = 80 ms transfer, plus the 5 ms RTT.
+        assert results[0] == pytest.approx(0.085, rel=0.05)
+
+
+class TestPlacement:
+    def _chain(self, sim, net):
+        return FTCChain(sim, ch_rec(n_threads=2), f=1, costs=COSTS,
+                        net=net, n_threads=2)
+
+    def test_place_chain_assigns_regions(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        chain = self._chain(sim, net)
+        place_chain(chain, ["core", "remote", "neighbor"])
+        assert net.region_of(chain.route[1]) == "remote"
+
+    def test_respawned_server_inherits_region(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        chain = self._chain(sim, net)
+        place_chain(chain, ["core", "remote", "neighbor"])
+        server = chain._new_server(1)
+        assert server.region == "remote"
+
+    def test_wrong_region_count_rejected(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        chain = self._chain(sim, net)
+        with pytest.raises(ValueError):
+            place_chain(chain, ["core"])
+
+    def test_requires_cloud_network(self):
+        sim = Simulator()
+        chain = FTCChain(sim, ch_rec(n_threads=2), f=1, costs=COSTS,
+                         net=Network(sim), n_threads=2)
+        with pytest.raises(TypeError):
+            place_chain(chain, ["core", "remote", "neighbor"])
+
+    def test_isolation_valid_for_fresh_chain(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        chain = self._chain(sim, net)
+        assert validate_isolation(chain) == []
+
+    def test_isolation_detects_shared_server(self):
+        sim = Simulator()
+        net = CloudNetwork(sim)
+        chain = self._chain(sim, net)
+        chain.route[1] = chain.route[0]  # corrupt deliberately
+        violations = validate_isolation(chain)
+        assert violations

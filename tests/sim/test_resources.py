@@ -1,0 +1,252 @@
+"""Unit tests for Store, Resource, and RateLimiter."""
+
+import pytest
+
+from repro.sim import CancelledError, RateLimiter, Resource, SimulationError, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer(sim):
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer(sim):
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            got.append(((yield store.get()), sim.now))
+
+        def producer(sim):
+            yield sim.timeout(3)
+            yield store.put("x")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [("x", 3.0)]
+
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer(sim):
+            yield store.put("a")
+            log.append(("a-in", sim.now))
+            yield store.put("b")
+            log.append(("b-in", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert log == [("a-in", 0.0), ("b-in", 5.0)]
+
+    def test_fifo_ordering_of_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim, tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.process(consumer(sim, "first"))
+        sim.process(consumer(sim, "second"))
+
+        def producer(sim):
+            yield sim.timeout(1)
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_try_get_empty_returns_none(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+
+    def test_try_get_returns_item(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.try_put("z")
+        assert store.try_get() == "z"
+
+    def test_cancel_pending_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        outcomes = []
+
+        def consumer(sim):
+            request = store.get()
+            try:
+                yield request
+            except CancelledError:
+                outcomes.append("cancelled")
+
+        def canceller(sim, request_holder):
+            yield sim.timeout(1)
+            request_holder[0].cancel()
+
+        # Start the consumer, grab its pending request from the queue.
+        sim.process(consumer(sim))
+        sim.run(until=0.5)
+        pending = [store._getters[0]]
+        sim.process(canceller(sim, pending))
+        sim.run()
+        assert outcomes == ["cancelled"]
+        # A later put should not be consumed by the cancelled getter.
+        store.try_put("live")
+        assert store.try_get() == "live"
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        active_log = []
+
+        def worker(sim, tag):
+            req = res.request()
+            yield req
+            active_log.append((tag, "start", sim.now, res.count))
+            yield sim.timeout(10)
+            res.release(req)
+
+        for tag in range(4):
+            sim.process(worker(sim, tag))
+        sim.run()
+        starts = [entry[2] for entry in active_log]
+        assert starts == [0, 0, 10, 10]
+        assert all(entry[3] <= 2 for entry in active_log)
+
+    def test_release_unowned_rejected(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        fake = res.request()
+        sim.run()
+        res.release(fake)
+        with pytest.raises(SimulationError):
+            res.release(fake)
+
+    def test_cancel_waiting_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        held = res.request()
+        sim.run()
+        assert held.triggered
+
+        waiting = res.request()
+        waiting.cancel()
+        outcomes = []
+
+        def proc(sim):
+            try:
+                yield waiting
+            except CancelledError:
+                outcomes.append("cancelled")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert outcomes == ["cancelled"]
+        # Releasing must not grant to the cancelled waiter.
+        res.release(held)
+        assert res.count == 0
+
+
+class TestRateLimiter:
+    def test_spacing_at_rate(self):
+        sim = Simulator()
+        limiter = RateLimiter(sim, rate=10.0)  # 0.1 s per item
+        finish_times = []
+
+        def sender(sim):
+            for _ in range(3):
+                yield limiter.admit()
+                finish_times.append(round(sim.now, 9))
+
+        sim.process(sender(sim))
+        sim.run()
+        assert finish_times == [0.1, 0.2, 0.3]
+
+    def test_idle_period_resets_next_free(self):
+        sim = Simulator()
+        limiter = RateLimiter(sim, rate=10.0)
+        finish_times = []
+
+        def sender(sim):
+            yield limiter.admit()
+            finish_times.append(sim.now)
+            yield sim.timeout(10)
+            yield limiter.admit()
+            finish_times.append(sim.now)
+
+        sim.process(sender(sim))
+        sim.run()
+        assert finish_times == [0.1, 10.2]
+
+    def test_cost_fn_adds_service_time(self):
+        sim = Simulator()
+        limiter = RateLimiter(sim, rate=10.0, cost_fn=lambda item: item)
+        finish = []
+
+        def sender(sim):
+            yield limiter.admit(0.4)  # 0.1 + 0.4
+            finish.append(sim.now)
+
+        sim.process(sender(sim))
+        sim.run()
+        assert finish == [0.5]
+
+    def test_backlog_reflects_queued_work(self):
+        sim = Simulator()
+        limiter = RateLimiter(sim, rate=1.0)
+        limiter.admission_delay()
+        limiter.admission_delay()
+        assert limiter.backlog == 2.0
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            RateLimiter(sim, rate=0)
+
+    def test_admitted_counter(self):
+        sim = Simulator()
+        limiter = RateLimiter(sim, rate=100.0)
+        for _ in range(5):
+            limiter.admission_delay()
+        assert limiter.admitted == 5

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_middleboxes_and_systems(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("mazunat", "monitor", "ids", "policer",
+                         "ftc", "ftmb", "fig9"):
+            assert expected in out
+
+
+class TestRun:
+    def test_run_ftc_chain(self, capsys):
+        code = main(["run", "--chain", "monitor,monitor", "--system", "ftc",
+                     "--rate", "5e5", "--duration", "0.004",
+                     "--threads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FTC chain" in out
+        assert "throughput" in out
+        assert "monitor0 -> monitor1" in out
+
+    def test_run_nf_chain(self, capsys):
+        assert main(["run", "--chain", "firewall", "--system", "nf",
+                     "--rate", "5e5", "--duration", "0.003",
+                     "--threads", "2"]) == 0
+        assert "NF chain" in capsys.readouterr().out
+
+    def test_run_with_failure_injection(self, capsys):
+        code = main(["run", "--chain", "monitor,monitor", "--system", "ftc",
+                     "--rate", "5e5", "--duration", "0.008",
+                     "--threads", "2", "--fail-at", "0.002",
+                     "--fail-position", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered position 1" in out
+
+    def test_fail_at_requires_ftc(self, capsys):
+        code = main(["run", "--chain", "monitor", "--system", "nf",
+                     "--rate", "5e5", "--duration", "0.002",
+                     "--threads", "2", "--fail-at", "0.001"])
+        assert code == 2
+
+    def test_unknown_middlebox_kind(self):
+        with pytest.raises(ValueError):
+            main(["run", "--chain", "nonexistent", "--system", "ftc",
+                  "--duration", "0.001"])
+
+
+class TestExperiment:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_runs_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Packet processing" in out
