@@ -15,6 +15,8 @@ The package implements the FTC protocol and everything it runs on:
 * :mod:`repro.baselines` -- NF, FTMB, FTMB+Snapshot, remote state store.
 * :mod:`repro.orchestration` -- orchestrator, heartbeat failure
   detection, multi-region cloud model, placement.
+* :mod:`repro.chaos` -- fault-injection plans, the chaos monkey,
+  invariant auditing, and the randomized soak harness.
 * :mod:`repro.metrics` -- throughput/latency meters and statistics.
 * :mod:`repro.experiments` -- regeneration of every evaluation table
   and figure.

@@ -1,0 +1,42 @@
+"""Chaos fault injection + invariant auditing.
+
+Three layers (see PROTOCOL.md, "Failure model & chaos testing"):
+
+- **Injection**: scripted :class:`FaultPlan` schedules and the
+  randomized :class:`ChaosMonkey`, both driving ``Server.fail()`` /
+  ``Network.impair()`` through seeded RNG streams.
+- **Hardened paths under test**: ``repro.net.retry`` and the
+  re-entrant recovery in ``repro.orchestration`` (exercised, not
+  defined, here).
+- **Audit**: :class:`InvariantAuditor` checking the §4/§5 invariants
+  against a :class:`ShadowOracle`, and the soak harness behind
+  ``python -m repro chaos``.
+"""
+
+from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
+from .monkey import ChaosMonkey, DEFAULT_KIND_WEIGHTS
+from .plan import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .soak import (
+    ScheduleResult,
+    SoakConfig,
+    SoakResult,
+    run_schedule,
+    run_soak,
+)
+
+__all__ = [
+    "ChaosMonkey",
+    "DEFAULT_KIND_WEIGHTS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "ScheduleResult",
+    "ShadowOracle",
+    "SoakConfig",
+    "SoakResult",
+    "run_schedule",
+    "run_soak",
+]

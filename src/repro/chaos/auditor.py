@@ -1,0 +1,219 @@
+"""Invariant auditing against a shadow oracle (§4, §5).
+
+The protocol's correctness rests on a handful of invariants the paper
+states informally; the auditor checks them against the live chain at
+any instant (and more strictly at quiescence):
+
+1. **Log propagation** (§4.2): within a replication group, each
+   member's MAX vector is entry-wise >= its successor's -- state flows
+   head -> tail, so a successor can never be ahead of its predecessor.
+2. **Release safety** (§5, the buffer's contract): a packet is
+   released only after its state updates are replicated f+1 times, so
+   every alive group member's store must already account for at least
+   the released packets (checked via each Monitor's counters against
+   the shadow oracle's release count).
+3. **Pruning bound** (§4.3): commit floors never exceed MAX, and no
+   retained log sits entirely below the floor (it would have been
+   pruned -- keeping it means pruning is broken, dropping others early
+   would break retransmission).
+4. **Recovery consistency / convergence** (§5.2, quiescent only): with
+   traffic stopped and commit vectors drained, all alive members of a
+   group hold identical stores and MAX vectors with nothing pending.
+
+The :class:`ShadowOracle` wraps the chain's ``deliver`` callback and
+is the ground truth for what left the chain: release count, duplicate
+releases (packet ids must be unique), and per-middlebox floors.
+Checks skip positions that are mid-recovery or frozen (their state is
+legitimately in flux) and a chain that has declared degraded mode
+(state loss past f is announced, not hidden).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from ..core.chain import FTCChain
+from ..middlebox.monitor import Monitor
+from ..net.packet import Packet
+
+__all__ = ["InvariantViolation", "ShadowOracle", "InvariantAuditor"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation of a protocol invariant."""
+
+    invariant: str
+    detail: str
+    at_s: float
+
+    def __str__(self):
+        return f"[{self.at_s * 1e3:.3f}ms] {self.invariant}: {self.detail}"
+
+
+class ShadowOracle:
+    """Ground truth observer on the chain egress.
+
+    Install as (or inside) the chain's ``deliver`` callable; it counts
+    and uniquifies released packets independently of the protocol
+    machinery under test.
+    """
+
+    def __init__(self, inner: Optional[Callable[[Packet], None]] = None):
+        self.inner = inner
+        self.released = 0
+        self.duplicate_releases = 0
+        self._seen: Set[int] = set()
+
+    def __call__(self, packet: Packet) -> None:
+        self.released += 1
+        if packet.pid in self._seen:
+            self.duplicate_releases += 1
+        self._seen.add(packet.pid)
+        if self.inner is not None:
+            self.inner(packet)
+
+
+class InvariantAuditor:
+    """Checks the §4/§5 invariants on a live chain."""
+
+    def __init__(self, chain: FTCChain, oracle: Optional[ShadowOracle] = None,
+                 orchestrator=None):
+        self.chain = chain
+        self.oracle = oracle
+        self.orchestrator = orchestrator
+        self.violations: List[InvariantViolation] = []
+        self.audits = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _flag(self, invariant: str, detail: str) -> None:
+        self.violations.append(InvariantViolation(
+            invariant=invariant, detail=detail, at_s=self.chain.sim.now))
+
+    def _in_flux(self) -> Set[int]:
+        """Positions whose state is legitimately inconsistent right now."""
+        flux = set(self.chain.failed_positions())
+        if self.orchestrator is not None:
+            flux |= self.orchestrator.recovering_positions
+            flux |= self.orchestrator.lost_positions
+        return flux
+
+    def _stable_members(self, mbox_index: int) -> List[int]:
+        flux = self._in_flux()
+        members = []
+        for position in self.chain.group_positions(mbox_index):
+            if position in flux:
+                continue
+            state = self.chain.replicas[position].states.get(
+                self.chain.middleboxes[mbox_index].name)
+            if state is None or state.frozen:
+                continue
+            members.append(position)
+        return members
+
+    # -- the invariants --------------------------------------------------------------
+
+    def check_log_propagation(self) -> None:
+        """Invariant 1: MAX flows monotonically down each group."""
+        for index, mbox in enumerate(self.chain.middleboxes):
+            group = self.chain.group_positions(index)
+            flux = self._in_flux()
+            chain_members = [p for p in group if p not in flux]
+            for pred, succ in zip(chain_members, chain_members[1:]):
+                pred_state = self.chain.replicas[pred].states[mbox.name]
+                succ_state = self.chain.replicas[succ].states[mbox.name]
+                if pred_state.frozen or succ_state.frozen:
+                    continue
+                for partition, seq in succ_state.max.items():
+                    if seq > pred_state.max.get(partition, 0):
+                        self._flag(
+                            "log-propagation",
+                            f"{mbox.name}: successor p{succ} ahead of "
+                            f"p{pred} on partition {partition} "
+                            f"({seq} > {pred_state.max.get(partition, 0)})")
+
+    def check_release_safety(self) -> None:
+        """Invariant 2: released packets are replicated f+1 times."""
+        if self.oracle is None:
+            return
+        if self.oracle.duplicate_releases:
+            self._flag("release-safety",
+                       f"{self.oracle.duplicate_releases} duplicate releases")
+        for index, mbox in enumerate(self.chain.middleboxes):
+            if not isinstance(mbox, Monitor):
+                continue  # only Monitors expose a countable oracle view
+            for position in self._stable_members(index):
+                store = self.chain.store_of(mbox.name, position)
+                counted = mbox.total_count(store)
+                if counted < self.oracle.released:
+                    self._flag(
+                        "release-safety",
+                        f"{mbox.name} replica p{position} accounts for "
+                        f"{counted} packets < {self.oracle.released} released")
+
+    def check_pruning_bound(self) -> None:
+        """Invariant 3: floors bounded by MAX; retained logs above floor."""
+        for index, mbox in enumerate(self.chain.middleboxes):
+            for position in self._stable_members(index):
+                state = self.chain.replicas[position].states[mbox.name]
+                floor = state.commit_floor
+                for partition, committed in floor.items():
+                    if committed > state.max.get(partition, 0):
+                        self._flag(
+                            "pruning-bound",
+                            f"{mbox.name} p{position}: commit floor "
+                            f"{committed} exceeds MAX "
+                            f"{state.max.get(partition, 0)} on partition "
+                            f"{partition}")
+                for log in state.retained:
+                    if log.depvec and all(
+                            seq + 1 <= floor.get(partition, 0)
+                            for partition, seq in log.depvec.items()):
+                        self._flag(
+                            "pruning-bound",
+                            f"{mbox.name} p{position}: fully-committed log "
+                            f"{log!r} not pruned")
+
+    def check_convergence(self) -> None:
+        """Invariant 4 (quiescent): group members hold identical state."""
+        for index, mbox in enumerate(self.chain.middleboxes):
+            members = self._stable_members(index)
+            if len(members) < 2:
+                continue
+            head = members[0]
+            head_state = self.chain.replicas[head].states[mbox.name]
+            reference = head_state.store.snapshot()
+            for position in members[1:]:
+                state = self.chain.replicas[position].states[mbox.name]
+                if state.pending:
+                    self._flag(
+                        "recovery-consistency",
+                        f"{mbox.name} p{position}: {len(state.pending)} "
+                        f"logs still pending at quiescence")
+                if state.max != head_state.max:
+                    self._flag(
+                        "recovery-consistency",
+                        f"{mbox.name} p{position}: MAX {state.max} != "
+                        f"head p{head} MAX {head_state.max}")
+                if state.store.snapshot() != reference:
+                    self._flag(
+                        "recovery-consistency",
+                        f"{mbox.name} p{position}: store diverges from "
+                        f"head p{head}")
+
+    # -- entry point -----------------------------------------------------------------
+
+    def audit(self, quiescent: bool = False) -> List[InvariantViolation]:
+        """Run all applicable checks; returns violations found *this* call."""
+        self.audits += 1
+        if self.chain.degraded:
+            return []  # state loss past f is declared, not checked
+        before = len(self.violations)
+        self.check_log_propagation()
+        self.check_release_safety()
+        self.check_pruning_bound()
+        if quiescent:
+            self.check_convergence()
+        return self.violations[before:]

@@ -1,0 +1,163 @@
+"""Randomized fault injection (the chaos monkey).
+
+A :class:`ChaosMonkey` is a simulation process that samples faults
+from configurable distributions: exponentially-spaced arrival times,
+weighted fault kinds, uniformly-chosen target positions.  All draws
+come from named :class:`repro.sim.RandomStreams` streams, so a
+schedule is a pure function of its seed -- any soak failure reproduces
+exactly from ``--seed``.
+
+By default crashes are gated on :meth:`FTCChain.safe_to_fail`, keeping
+every replication group within its f-loss budget (the protocol's
+correctness envelope, §4).  Disable the gate (``respect_f=False``) to
+also exercise the >f degraded path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.chain import FTCChain
+from ..orchestration.orchestrator import Orchestrator
+from ..sim import CancelledError, Interrupt
+
+__all__ = ["ChaosMonkey", "DEFAULT_KIND_WEIGHTS"]
+
+#: Relative odds of each fault kind per arrival.
+DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
+    "crash": 0.6,
+    "crash-during-recovery": 0.2,
+    "impair-control": 0.2,
+}
+
+
+class ChaosMonkey:
+    """A process injecting random (but seed-reproducible) faults."""
+
+    def __init__(self, chain: FTCChain, orchestrator: Orchestrator,
+                 mean_interval_s: float = 10e-3,
+                 kind_weights: Optional[Dict[str, float]] = None,
+                 max_faults: Optional[int] = None,
+                 start_after_s: float = 0.0,
+                 respect_f: bool = True,
+                 impair_drop_rate: float = 0.3,
+                 impair_dup_rate: float = 0.1,
+                 impair_duration_s: float = 5e-3,
+                 stream: str = "chaos-monkey"):
+        self.chain = chain
+        self.orchestrator = orchestrator
+        self.mean_interval_s = mean_interval_s
+        self.kind_weights = dict(kind_weights or DEFAULT_KIND_WEIGHTS)
+        self.max_faults = max_faults
+        self.start_after_s = start_after_s
+        self.respect_f = respect_f
+        self.impair_drop_rate = impair_drop_rate
+        self.impair_dup_rate = impair_dup_rate
+        self.impair_duration_s = impair_duration_s
+        self.rng = chain.streams.stream(stream)
+        #: (fire time, description) per injected fault.
+        self.injected: List[Tuple[float, str]] = []
+        self._pending_recovery_crash = False
+        self._hooked = False
+        self._process = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self._process = self.chain.sim.process(self._loop(), name="chaos-monkey")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("chaos stopped")
+        self._process = None
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.injected)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _pick_kind(self) -> str:
+        kinds = list(self.kind_weights)
+        total = sum(self.kind_weights[k] for k in kinds)
+        draw = self.rng.uniform(0.0, total)
+        for kind in kinds:
+            draw -= self.kind_weights[kind]
+            if draw <= 0:
+                return kind
+        return kinds[-1]
+
+    def _pick_crash_position(self) -> Optional[int]:
+        pending = (self.orchestrator.recovering_positions |
+                   self.orchestrator.lost_positions)
+        candidates = [
+            p for p in range(self.chain.n_positions)
+            if p not in pending and not self.chain.server_at(p).failed
+            and (not self.respect_f or self.chain.safe_to_fail(p, pending))
+        ]
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    # -- the loop -----------------------------------------------------------------
+
+    def _loop(self):
+        sim = self.chain.sim
+        try:
+            if self.start_after_s > 0:
+                yield sim.timeout(self.start_after_s)
+            while self.max_faults is None or len(self.injected) < self.max_faults:
+                yield sim.timeout(self.rng.expovariate(1.0 / self.mean_interval_s))
+                kind = self._pick_kind()
+                if kind == "crash":
+                    self._do_crash()
+                elif kind == "crash-during-recovery":
+                    self._arm_recovery_crash()
+                else:
+                    self._do_impair()
+        except (Interrupt, CancelledError):
+            return
+
+    def _record(self, what: str) -> None:
+        self.injected.append((self.chain.sim.now, what))
+
+    def _do_crash(self) -> None:
+        position = self._pick_crash_position()
+        if position is None:
+            return  # every further crash would exceed some group's f
+        self.chain.fail_position(position)
+        self._record(f"crash p{position}")
+
+    def _do_impair(self) -> None:
+        self.chain.net.impair(
+            drop_rate=self.impair_drop_rate, dup_rate=self.impair_dup_rate,
+            duration_s=self.impair_duration_s)
+        self._record(f"impair control drop={self.impair_drop_rate} "
+                     f"dup={self.impair_dup_rate} "
+                     f"for {self.impair_duration_s * 1e3:.1f}ms")
+
+    def _arm_recovery_crash(self) -> None:
+        """Next recovery that reaches the fetching phase loses a source."""
+        if self._pending_recovery_crash:
+            return
+        self._pending_recovery_crash = True
+        if not self._hooked:
+            self.orchestrator.recovery_hooks.append(self._on_phase)
+            self._hooked = True
+        self._record("armed crash-during-recovery")
+
+    def _on_phase(self, phase: str, positions: List[int]) -> None:
+        if not self._pending_recovery_crash or phase != "fetching":
+            return
+        pending = set(positions) | self.orchestrator.lost_positions
+        candidates = [
+            p for p in range(self.chain.n_positions)
+            if p not in pending and not self.chain.server_at(p).failed
+            and (not self.respect_f or self.chain.safe_to_fail(p, pending))
+        ]
+        if not candidates:
+            return  # stay armed for a later recovery with more headroom
+        self._pending_recovery_crash = False
+        target = candidates[self.rng.randrange(len(candidates))]
+        self.chain.fail_position(target)
+        self._record(f"crash p{target} during recovery of {positions}")

@@ -1,0 +1,177 @@
+"""Scripted fault schedules.
+
+A :class:`FaultPlan` is a deterministic list of :class:`FaultSpec`
+entries -- crash this position at that time, crash a position the
+moment recovery reaches a given phase, impair the control plane for a
+window.  :class:`FaultInjector` arms a plan against a running
+chain/orchestrator pair; every injection is recorded with its firing
+time so a failing soak schedule can be replayed exactly from its seed
+(see PROTOCOL.md, "Failure model & chaos testing").
+
+Scripted plans are the precision tool; for randomized soaking see
+:class:`repro.chaos.monkey.ChaosMonkey`, which samples specs like
+these from configurable distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.chain import FTCChain
+from ..orchestration.orchestrator import Orchestrator
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS"]
+
+#: Supported fault kinds.
+FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``kind="crash"``
+        Fail-stop ``position`` at ``at_s`` (simulated seconds).  Several
+        specs with the same ``at_s`` express a correlated multi-crash.
+    ``kind="crash-during-recovery"``
+        Arm a recovery-phase hook from ``at_s`` on: the first time a
+        recovery run reaches ``phase`` (one of
+        ``repro.core.RECOVERY_PHASES``), fail ``position``.  This is
+        how a fetch source is killed mid-transfer.
+    ``kind="impair-control"``
+        From ``at_s``, drop/duplicate/delay control-plane messages for
+        ``duration_s`` (see :meth:`repro.net.Network.impair`).
+    """
+
+    kind: str
+    at_s: float = 0.0
+    position: Optional[int] = None
+    phase: Optional[str] = None
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    extra_delay_s: float = 0.0
+    delay_jitter_s: float = 0.0
+    duration_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "crash" and self.position is None:
+            raise ValueError("crash faults need a position")
+        if self.kind == "crash-during-recovery" and self.phase is None:
+            raise ValueError("crash-during-recovery faults need a phase")
+
+    def describe(self) -> str:
+        if self.kind == "crash":
+            return f"crash p{self.position} @ {self.at_s * 1e3:.2f}ms"
+        if self.kind == "crash-during-recovery":
+            return (f"crash p{self.position} at recovery phase "
+                    f"{self.phase!r} (armed @ {self.at_s * 1e3:.2f}ms)")
+        return (f"impair control drop={self.drop_rate} dup={self.dup_rate} "
+                f"delay={self.extra_delay_s * 1e3:.2f}ms "
+                f"@ {self.at_s * 1e3:.2f}ms")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, deterministic fault schedule."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.faults.append(spec)
+        return self
+
+    def crash(self, position: int, at_s: float) -> "FaultPlan":
+        return self.add(FaultSpec(kind="crash", at_s=at_s, position=position))
+
+    def crash_during_recovery(self, position: int, phase: str,
+                              at_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="crash-during-recovery", at_s=at_s,
+                                  position=position, phase=phase))
+
+    def impair_control(self, at_s: float, drop_rate: float = 0.0,
+                       dup_rate: float = 0.0, extra_delay_s: float = 0.0,
+                       delay_jitter_s: float = 0.0,
+                       duration_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultSpec(
+            kind="impair-control", at_s=at_s, drop_rate=drop_rate,
+            dup_rate=dup_rate, extra_delay_s=extra_delay_s,
+            delay_jitter_s=delay_jitter_s, duration_s=duration_s))
+
+    def describe(self) -> List[str]:
+        return [spec.describe() for spec in sorted(self.faults,
+                                                   key=lambda s: s.at_s)]
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a chain + orchestrator."""
+
+    def __init__(self, chain: FTCChain, orchestrator: Optional[Orchestrator],
+                 plan: FaultPlan, seed: int = 0):
+        self.chain = chain
+        self.orchestrator = orchestrator
+        self.plan = plan
+        self.seed = seed
+        #: (fire time, human-readable description) per executed fault.
+        self.injected: List[Tuple[float, str]] = []
+        self._armed_phase_specs: List[FaultSpec] = []
+
+    def start(self) -> None:
+        sim = self.chain.sim
+        for spec in self.plan.faults:
+            if spec.kind == "crash":
+                sim.schedule_callback(
+                    max(0.0, spec.at_s - sim.now),
+                    lambda spec=spec: self._crash(spec))
+            elif spec.kind == "crash-during-recovery":
+                sim.schedule_callback(
+                    max(0.0, spec.at_s - sim.now),
+                    lambda spec=spec: self._arm_phase_spec(spec))
+            else:
+                sim.schedule_callback(
+                    max(0.0, spec.at_s - sim.now),
+                    lambda spec=spec: self._impair(spec))
+
+    # -- executors --------------------------------------------------------------
+
+    def _record(self, what: str) -> None:
+        self.injected.append((self.chain.sim.now, what))
+
+    def _crash(self, spec: FaultSpec) -> None:
+        position = spec.position
+        if self.chain.server_at(position).failed:
+            return  # already down (e.g. a correlated crash beat us to it)
+        self.chain.fail_position(position)
+        self._record(f"crash p{position}")
+
+    def _impair(self, spec: FaultSpec) -> None:
+        self.chain.net.impair(
+            drop_rate=spec.drop_rate, dup_rate=spec.dup_rate,
+            extra_delay_s=spec.extra_delay_s,
+            delay_jitter_s=spec.delay_jitter_s,
+            duration_s=spec.duration_s, seed=self.seed)
+        self._record(spec.describe())
+
+    def _arm_phase_spec(self, spec: FaultSpec) -> None:
+        if self.orchestrator is None:
+            raise ValueError(
+                "crash-during-recovery faults need an orchestrator "
+                "(its recovery hooks carry the phase signal)")
+        if not self._armed_phase_specs:
+            self.orchestrator.recovery_hooks.append(self._on_phase)
+        self._armed_phase_specs.append(spec)
+
+    def _on_phase(self, phase: str, positions: List[int]) -> None:
+        for spec in list(self._armed_phase_specs):
+            if spec.phase != phase:
+                continue
+            target = spec.position
+            if target is None or target in positions or \
+                    self.chain.server_at(target).failed:
+                continue
+            self._armed_phase_specs.remove(spec)
+            self.chain.fail_position(target)
+            self._record(f"crash p{target} during recovery phase {phase!r} "
+                         f"of {positions}")

@@ -1,0 +1,179 @@
+"""Chaos soak: randomized fault schedules + invariant auditing.
+
+One *schedule* builds a fresh Ch-n chain under FTC, runs traffic,
+lets a :class:`ChaosMonkey` inject faults (crashes, crashes during
+recovery, control-plane impairment), audits the §4/§5 invariants
+periodically and once more at the end, and reports every violation.
+A *soak* sweeps many schedules over (chain length, f) combinations,
+each derived deterministically from the base seed -- a red schedule
+is reproduced bit-for-bit by ``python -m repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import FTCChain
+from ..core.costs import CostModel
+from ..middlebox import ch_n
+from ..net import TrafficGenerator, balanced_flows
+from ..orchestration import Orchestrator
+from ..sim import Simulator
+from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
+from .monkey import ChaosMonkey
+
+__all__ = ["SoakConfig", "ScheduleResult", "SoakResult", "run_schedule",
+           "run_soak"]
+
+#: Deterministic cost model: chaos schedules must be a pure function of
+#: the seed, so processing-time jitter is turned off.
+SOAK_COSTS = CostModel(cycle_jitter_frac=0.0)
+
+#: Audit cadence while the schedule runs.
+AUDIT_INTERVAL_S = 2e-3
+
+
+@dataclass
+class SoakConfig:
+    """Sweep parameters for :func:`run_soak`."""
+
+    seed: int = 0
+    schedules: int = 50
+    faults_per_schedule: int = 3
+    chain_lengths: Sequence[int] = (2, 3, 4, 5)
+    f_values: Sequence[int] = (1, 2)
+    duration_s: float = 60e-3
+    rate_pps: float = 2e4
+    heartbeat_interval_s: float = 1e-3
+    mean_fault_interval_s: float = 8e-3
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one randomized schedule."""
+
+    index: int
+    seed: int
+    chain_length: int
+    f: int
+    faults: List[Tuple[float, str]] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+    released: int = 0
+    failures_detected: int = 0
+    recoveries: int = 0
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SoakResult:
+    """Aggregate outcome of a soak run."""
+
+    config: SoakConfig
+    schedules: List[ScheduleResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        return [v for s in self.schedules for v in s.violations]
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(len(s.faults) for s in self.schedules)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.schedules)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos soak: {len(self.schedules)} schedules, "
+            f"{self.faults_injected} faults injected, "
+            f"{sum(s.failures_detected for s in self.schedules)} failures "
+            f"detected, {sum(s.recoveries for s in self.schedules)} "
+            f"recoveries, {len(self.violations)} invariant violations",
+        ]
+        for schedule in self.schedules:
+            if schedule.ok:
+                continue
+            lines.append(
+                f"  FAIL schedule {schedule.index} "
+                f"(seed={schedule.seed}, Ch-{schedule.chain_length}, "
+                f"f={schedule.f}):")
+            for violation in schedule.violations:
+                lines.append(f"    {violation}")
+            for when, what in schedule.faults:
+                lines.append(f"    fault @ {when * 1e3:.2f}ms: {what}")
+        return "\n".join(lines)
+
+
+def run_schedule(seed: int, chain_length: int, f: int,
+                 max_faults: int = 3, duration_s: float = 60e-3,
+                 rate_pps: float = 2e4, heartbeat_interval_s: float = 1e-3,
+                 mean_fault_interval_s: float = 8e-3,
+                 index: int = 0) -> ScheduleResult:
+    """One randomized fault schedule on a fresh Ch-``chain_length`` chain."""
+    sim = Simulator()
+    oracle = ShadowOracle()
+    chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
+                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed)
+    chain.start()
+    orchestrator = Orchestrator(sim, chain,
+                                heartbeat_interval_s=heartbeat_interval_s)
+    orchestrator.start()
+    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=orchestrator)
+    monkey = ChaosMonkey(chain, orchestrator,
+                         mean_interval_s=mean_fault_interval_s,
+                         max_faults=max_faults,
+                         start_after_s=duration_s * 0.1)
+    monkey.start()
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate_pps,
+                                 flows=balanced_flows(8, 2))
+
+    def periodic_audit():
+        auditor.audit()
+        if sim.now + AUDIT_INTERVAL_S < duration_s:
+            sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+
+    sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+    sim.run(until=duration_s)
+    generator.stop()
+    monkey.stop()
+    # Let in-flight recovery/commits drain, then audit one last time.
+    sim.run(until=duration_s + 20 * heartbeat_interval_s)
+    auditor.audit()
+    orchestrator.stop()
+
+    return ScheduleResult(
+        index=index, seed=seed, chain_length=chain_length, f=f,
+        faults=list(monkey.injected), violations=list(auditor.violations),
+        released=oracle.released,
+        failures_detected=len(orchestrator.history),
+        recoveries=sum(1 for e in orchestrator.history if e.recovered),
+        degraded=chain.degraded)
+
+
+def run_soak(config: Optional[SoakConfig] = None,
+             progress=None) -> SoakResult:
+    """Sweep ``config.schedules`` randomized schedules (round-robin over
+    the (chain length, f) grid), each seeded from ``config.seed``."""
+    config = config or SoakConfig()
+    result = SoakResult(config=config)
+    grid = [(n, f) for n in config.chain_lengths for f in config.f_values]
+    for index in range(config.schedules):
+        chain_length, f = grid[index % len(grid)]
+        seed = config.seed * 10_000 + index
+        schedule = run_schedule(
+            seed=seed, chain_length=chain_length, f=f,
+            max_faults=config.faults_per_schedule,
+            duration_s=config.duration_s, rate_pps=config.rate_pps,
+            heartbeat_interval_s=config.heartbeat_interval_s,
+            mean_fault_interval_s=config.mean_fault_interval_s,
+            index=index)
+        result.schedules.append(schedule)
+        if progress is not None:
+            progress(schedule)
+    return result

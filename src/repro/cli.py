@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro list                    # available middleboxes/systems
     python -m repro run --chain monitor,monitor --system ftc --rate 2e6
     python -m repro experiment fig9         # regenerate a table/figure
+    python -m repro chaos --seed 0 --faults 3   # fault-injection soak
 
 ``run`` builds the requested chain under the requested system, drives
 it for a simulated duration, and prints throughput/latency plus the
@@ -60,6 +61,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("name", choices=_EXPERIMENTS)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a randomized fault-injection soak")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed (reproduces a soak bit-for-bit)")
+    chaos.add_argument("--schedules", type=int, default=50,
+                       help="randomized schedules to run")
+    chaos.add_argument("--faults", type=int, default=3,
+                       help="faults injected per schedule")
+    chaos.add_argument("--lengths", default="2,3,4,5",
+                       help="comma-separated Ch-n chain lengths")
+    chaos.add_argument("--f-values", default="1,2", dest="f_values",
+                       help="comma-separated f values to sweep")
+    chaos.add_argument("--duration", type=float, default=60e-3,
+                       help="simulated seconds per schedule")
+    chaos.add_argument("--rate", type=float, default=2e4,
+                       help="offered load in packets/second")
+    chaos.add_argument("-v", "--verbose", action="store_true",
+                       help="print each schedule as it completes")
     return parser
 
 
@@ -128,6 +148,42 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_int_list(text: str, option: str) -> List[int]:
+    try:
+        values = [int(item) for item in text.split(",")]
+    except ValueError:
+        raise SystemExit(f"repro chaos: {option} wants comma-separated "
+                         f"integers, got {text!r}")
+    if not values or any(v < 1 for v in values):
+        raise SystemExit(f"repro chaos: {option} values must be >= 1, "
+                         f"got {text!r}")
+    return values
+
+
+def _cmd_chaos(args) -> int:
+    from .chaos import SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed, schedules=args.schedules,
+        faults_per_schedule=args.faults,
+        chain_lengths=_parse_int_list(args.lengths, "--lengths"),
+        f_values=_parse_int_list(args.f_values, "--f-values"),
+        duration_s=args.duration, rate_pps=args.rate)
+
+    def progress(schedule):
+        status = "ok" if schedule.ok else "FAIL"
+        print(f"  schedule {schedule.index:3d} seed={schedule.seed} "
+              f"Ch-{schedule.chain_length} f={schedule.f}: "
+              f"{len(schedule.faults)} faults, "
+              f"{schedule.failures_detected} detected, "
+              f"{schedule.recoveries} recovered, "
+              f"{schedule.released} released -> {status}")
+
+    result = run_soak(config, progress=progress if args.verbose else None)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def _cmd_experiment(name: str) -> int:
     import importlib
     module = importlib.import_module(f"repro.experiments.{name}")
@@ -143,6 +199,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args.name)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 1
 
 

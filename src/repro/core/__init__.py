@@ -13,7 +13,13 @@ from .costs import CostModel, DEFAULT_COSTS
 from .depvec import DependencyVector, ProtocolError, ReplicationState
 from .forwarder import Forwarder
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
-from .recovery import RecoveryReport, UnrecoverableError, recover_positions
+from .recovery import (
+    RECOVERY_PHASES,
+    RecoveryError,
+    RecoveryReport,
+    UnrecoverableError,
+    recover_positions,
+)
 from .replica import Replica
 from .runtime import CycleCounters, MiddleboxRuntime
 from .scaling import RescaleReport, rescale_position
@@ -31,6 +37,8 @@ __all__ = [
     "PiggybackLog",
     "PiggybackMessage",
     "ProtocolError",
+    "RECOVERY_PHASES",
+    "RecoveryError",
     "RecoveryReport",
     "Replica",
     "RescaleReport",

@@ -93,6 +93,11 @@ class FTCChain:
         self.packets_in = 0
         self.feedback_lost = 0
         self.buffer_packets_lost = 0
+        #: Set when >f members of some replication group are gone and
+        #: recovery gave up: the chain keeps running (meters keep
+        #: reporting) but state of the affected group(s) is lost.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -226,10 +231,32 @@ class FTCChain:
         deadline = self.sim.timeout(CONTROL_TIMEOUT_S)
         yield AnyOf(self.sim, [call, deadline])
         if call.processed and call.ok:
+            deadline.cancel()
             return call.value or []
+        call.cancel()
         return []
 
     # -- failure injection --------------------------------------------------------------
+
+    def failed_positions(self) -> List[int]:
+        """Positions whose current server is failed."""
+        return [p for p in range(self.n_positions) if self.server_at(p).failed]
+
+    def safe_to_fail(self, position: int, pending=()) -> bool:
+        """Would failing ``position`` keep every group within f losses?
+
+        ``pending`` names positions already considered down (e.g. under
+        recovery) beyond those whose servers are marked failed.  The
+        chaos monkey uses this to schedule adversarial-but-recoverable
+        crashes; passing an unsafe position to :func:`fail_position`
+        still works but leads to ``UnrecoverableError``/degraded mode.
+        """
+        down = set(self.failed_positions()) | set(pending) | {position}
+        for index in range(self.n_mboxes):
+            group = self.group_positions(index)
+            if sum(1 for p in group if p in down) > self.f:
+                return False
+        return True
 
     def fail_position(self, position: int) -> None:
         """Fail-stop the server at ``position`` (and its replica)."""

@@ -12,22 +12,46 @@ member recovers from its immediate predecessor.  With multiple
 failures the walk continues to the nearest alive member, and the
 orchestrator performs a single rerouting only after every new replica
 has confirmed recovery.
+
+The procedure is exception-safe and abortable: frozen source states
+are always thawed, half-spawned replicas are released, and state
+fetches ride the control-plane retry policy so a lost message costs a
+timeout, not a hang.  A source that dies *mid-fetch* surfaces as
+:class:`RecoveryError` -- the orchestrator re-enters with the union of
+failed positions (§5.2), at which point the source walk skips the new
+corpse.  Phase hooks let the chaos subsystem (`repro.chaos`) inject
+failures at precisely the nastiest instants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..sim import AllOf
+from ..net.retry import DEFAULT_RETRY_POLICY, RetryPolicy, reliable_call
+from ..sim import AllOf, CancelledError, Interrupt
 from .chain import FTCChain
 from .replica import Replica
 
-__all__ = ["RecoveryReport", "recover_positions", "UnrecoverableError"]
+__all__ = ["RecoveryReport", "recover_positions", "RecoveryError",
+           "UnrecoverableError", "RECOVERY_PHASES"]
+
+#: Phase-hook names, in firing order.
+RECOVERY_PHASES = ("initializing", "spawned", "fetching", "fetched",
+                   "rerouting", "committed")
+
+#: Optional observer called as ``hooks(phase, positions)`` at each phase.
+RecoveryHooks = Callable[[str, List[int]], None]
 
 
 class UnrecoverableError(Exception):
     """More than f members of some replication group are gone."""
+
+
+class RecoveryError(Exception):
+    """A recovery attempt failed mid-flight (e.g. a fetch source died
+    after source selection).  The chain is untouched -- the caller may
+    re-enter ``recover_positions`` with an updated failed set."""
 
 
 @dataclass
@@ -40,6 +64,8 @@ class RecoveryReport:
     rerouting_s: float = 0.0
     bytes_transferred: int = 0
     fetches: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Control-plane retries performed by the state fetches.
+    control_retries: int = 0
 
     @property
     def total_s(self) -> float:
@@ -63,47 +89,74 @@ def _alive_source(chain: FTCChain, mbox_index: int, position: int,
     return None
 
 
+def _fire(hooks: Optional[RecoveryHooks], phase: str,
+          positions: List[int]) -> None:
+    if hooks is not None:
+        hooks(phase, list(positions))
+
+
 def recover_positions(chain: FTCChain, positions: List[int],
                       init_delay_s: float = 1e-3,
-                      reroute_delay_s: float = 0.5e-3):
+                      reroute_delay_s: float = 0.5e-3,
+                      retry_policy: Optional[RetryPolicy] = None,
+                      hooks: Optional[RecoveryHooks] = None):
     """Generator (run as a sim process): §5.2 recovery.
 
     Returns a :class:`RecoveryReport`.  ``init_delay_s`` models the
     orchestrator-to-region latency of spawning instances (Fig 13's
     initialization delay); ``reroute_delay_s`` the flow-rule update.
+
+    Raises :class:`UnrecoverableError` when some replication group has
+    no alive member left, and :class:`RecoveryError` when a state fetch
+    exhausts its retries.  On any exit before the rerouting commit --
+    exception or interrupt -- frozen sources are thawed and the
+    half-spawned replicas are released, leaving the chain exactly as it
+    was.
     """
     sim = chain.sim
+    policy = retry_policy or DEFAULT_RETRY_POLICY
+    rng = chain.streams.stream("recovery-backoff")
     report = RecoveryReport(positions=list(positions))
     failed = set(positions)
     started = sim.now
 
-    # -- step 1: initialization -------------------------------------------------
-    yield sim.timeout(init_delay_s)
-    report.initialization_s = sim.now - started
-
-    new_replicas: Dict[int, Replica] = {}
-    new_servers: Dict[int, object] = {}
-    for position in positions:
-        server = chain._new_server(position)
-        middlebox = (chain.middleboxes[position]
-                     if position < chain.n_mboxes else None)
-        new_servers[position] = server
-        new_replicas[position] = Replica(sim, chain, position, server,
-                                         middlebox, costs=chain.costs,
-                                         streams=chain.streams,
-                                         use_htm=chain.use_htm)
-
-    # -- step 2: state recovery (parallel fetches per group) ---------------------
-    fetch_started = sim.now
     frozen: List = []
-    fetch_events = []
-    for position in positions:
-        replica = new_replicas[position]
-        for mbox_index, mbox_name in chain.member_mboxes(position):
-            source_pos = _alive_source(chain, mbox_index, position, failed)
-            if source_pos is None:
-                raise UnrecoverableError(
-                    f"no alive replica left for middlebox {mbox_name!r}")
+    fetch_procs: List = []
+    new_servers: Dict[int, object] = {}
+    committed = False
+    try:
+        # -- step 1: initialization ----------------------------------------------
+        _fire(hooks, "initializing", positions)
+        yield sim.timeout(init_delay_s)
+        report.initialization_s = sim.now - started
+
+        new_replicas: Dict[int, Replica] = {}
+        for position in positions:
+            server = chain._new_server(position)
+            middlebox = (chain.middleboxes[position]
+                         if position < chain.n_mboxes else None)
+            new_servers[position] = server
+            new_replicas[position] = Replica(sim, chain, position, server,
+                                             middlebox, costs=chain.costs,
+                                             streams=chain.streams,
+                                             use_htm=chain.use_htm)
+        _fire(hooks, "spawned", positions)
+
+        # -- step 2: state recovery (parallel fetches per group) ---------------------
+        # Plan all sources first so an unrecoverable group surfaces
+        # before anything is frozen or transferred.
+        plans: List[Tuple[int, int, str, int]] = []
+        for position in positions:
+            for mbox_index, mbox_name in chain.member_mboxes(position):
+                source_pos = _alive_source(chain, mbox_index, position, failed)
+                if source_pos is None:
+                    raise UnrecoverableError(
+                        f"no alive replica left for middlebox {mbox_name!r}")
+                plans.append((position, mbox_index, mbox_name, source_pos))
+
+        fetch_started = sim.now
+        for position, mbox_index, mbox_name, source_pos in plans:
+            replica = new_replicas[position]
             source_state = chain.replica_at(source_pos).states[mbox_name]
             source_state.freeze()
             frozen.append(source_state)
@@ -121,37 +174,76 @@ def recover_positions(chain: FTCChain, positions: List[int],
                 # §6: the control module opens a reliable TCP connection
                 # per replication group, sends a fetch request, and
                 # waits for the state -- a connect round trip plus a
-                # request/response round trip.
-                yield chain.net.control_call(
-                    new_servers[position].name, chain.route[source_pos],
-                    lambda: True, payload_bytes=64, response_bytes=64)
-                contents, max_vector, retained = yield chain.net.control_call(
-                    new_servers[position].name, chain.route[source_pos],
-                    source_state.export_state, response_bytes=max(size, 64))
-                state = replica.states[mbox_name]
-                state.import_state(contents, max_vector, retained)
-                if replica.runtime is not None and mbox_index == position:
-                    # §5.2: restore the failed head's dependency matrix
-                    # by setting each row to the retrieved MAX.
-                    replica.runtime.depvec.load(max_vector)
+                # request/response round trip, each under the retry
+                # policy so a lost message or a dead source costs
+                # bounded time.
+                try:
+                    connect = yield from reliable_call(
+                        chain.net, new_servers[position].name,
+                        chain.route[source_pos], lambda: True,
+                        policy=policy, payload_bytes=64, response_bytes=64,
+                        rng=rng)
+                    report.control_retries += connect.retries
+                    if not connect.ok:
+                        raise RecoveryError(
+                            f"connect to {mbox_name!r} source at position "
+                            f"{source_pos} timed out")
+                    response = yield from reliable_call(
+                        chain.net, new_servers[position].name,
+                        chain.route[source_pos], source_state.export_state,
+                        policy=policy, payload_bytes=64,
+                        response_bytes=max(size, 64), rng=rng)
+                    report.control_retries += response.retries
+                    if not response.ok:
+                        raise RecoveryError(
+                            f"state fetch of {mbox_name!r} from position "
+                            f"{source_pos} timed out")
+                    contents, max_vector, retained = response.value
+                    state = replica.states[mbox_name]
+                    state.import_state(contents, max_vector, retained)
+                    if replica.runtime is not None and mbox_index == position:
+                        # §5.2: restore the failed head's dependency matrix
+                        # by setting each row to the retrieved MAX.
+                        replica.runtime.depvec.load(max_vector)
+                except (Interrupt, CancelledError):
+                    return  # recovery aborted; the next attempt refetches
 
-            fetch_events.append(sim.process(fetch_one()))
+            fetch_procs.append(sim.process(fetch_one()))
 
-    yield AllOf(sim, fetch_events)
-    report.state_recovery_s = sim.now - fetch_started
+        _fire(hooks, "fetching", positions)
+        yield AllOf(sim, fetch_procs)
+        report.state_recovery_s = sim.now - fetch_started
+        _fire(hooks, "fetched", positions)
 
-    # -- step 3: rerouting (single update after all confirmations, §5.2) ---------
-    reroute_started = sim.now
-    yield sim.timeout(reroute_delay_s)
-    for position in positions:
-        chain.route[position] = new_servers[position].name
-        chain.replicas[position] = new_replicas[position]
-        if position > 0:
-            chain.net.connect(chain.route[position - 1], chain.route[position])
-        if position < chain.n_positions - 1:
-            chain.net.connect(chain.route[position], chain.route[position + 1])
-        new_replicas[position].start()
-    for state in frozen:
-        state.thaw()
-    report.rerouting_s = sim.now - reroute_started
-    return report
+        # -- step 3: rerouting (single update after all confirmations, §5.2) ---------
+        reroute_started = sim.now
+        _fire(hooks, "rerouting", positions)
+        yield sim.timeout(reroute_delay_s)
+        committed = True
+        for position in positions:
+            # Fence the old instance: a falsely-suspected (still alive)
+            # server must stop processing before traffic moves, or its
+            # workers would keep mutating state outside the group.
+            if not chain.server_at(position).failed:
+                chain.fail_position(position)
+            chain.route[position] = new_servers[position].name
+            chain.replicas[position] = new_replicas[position]
+            if position > 0:
+                chain.net.connect(chain.route[position - 1], chain.route[position])
+            if position < chain.n_positions - 1:
+                chain.net.connect(chain.route[position], chain.route[position + 1])
+            new_replicas[position].start()
+        report.rerouting_s = sim.now - reroute_started
+        _fire(hooks, "committed", positions)
+        return report
+    finally:
+        # Always thaw sources -- a fetch failure or an abort must not
+        # leave them frozen forever (they stop applying logs entirely).
+        for state in frozen:
+            state.thaw()
+        if not committed:
+            for proc in fetch_procs:
+                if proc.is_alive:
+                    proc.interrupt("recovery aborted")
+            for server in new_servers.values():
+                server.fail()  # release the half-spawned instance

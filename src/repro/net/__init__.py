@@ -5,17 +5,22 @@ from .flowgen import FlowPool, TrafficGenerator, balanced_flows
 from .link import Link, LossyLink
 from .nic import DEFAULT_NIC_PPS, NIC
 from .packet import FlowKey, Packet, format_ip, ip
+from .retry import DEFAULT_RETRY_POLICY, CallResult, RetryPolicy, reliable_call
 from .topology import (
     DEFAULT_CPU_HZ,
     DEFAULT_HOP_DELAY_S,
+    ControlImpairment,
     Network,
     Server,
 )
 
 __all__ = [
+    "CallResult",
+    "ControlImpairment",
     "DEFAULT_CPU_HZ",
     "DEFAULT_HOP_DELAY_S",
     "DEFAULT_NIC_PPS",
+    "DEFAULT_RETRY_POLICY",
     "FlowChurnGenerator",
     "FlowKey",
     "FlowPool",
@@ -24,9 +29,11 @@ __all__ = [
     "NIC",
     "Network",
     "Packet",
+    "RetryPolicy",
     "Server",
     "TrafficGenerator",
     "balanced_flows",
     "format_ip",
     "ip",
+    "reliable_call",
 ]

@@ -9,6 +9,7 @@ servers all hang off the same pair of ToR switches.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Simulator
@@ -16,7 +17,8 @@ from .link import Link
 from .nic import DEFAULT_NIC_PPS, NIC
 from .packet import Packet
 
-__all__ = ["Server", "Network", "DEFAULT_CPU_HZ", "DEFAULT_HOP_DELAY_S"]
+__all__ = ["Server", "Network", "ControlImpairment", "DEFAULT_CPU_HZ",
+           "DEFAULT_HOP_DELAY_S"]
 
 #: Xeon D-1540 clock (paper §7.1).
 DEFAULT_CPU_HZ = 2.0e9
@@ -66,6 +68,27 @@ class Server:
         return f"<Server {self.name} cores={self.n_cores} {status}>"
 
 
+@dataclass
+class ControlImpairment:
+    """Seeded chaos applied to every control-plane message leg.
+
+    Each direction of a control call (request and response) is an
+    independent *leg*: a leg may be dropped (silence the caller's
+    timeout logic must absorb), duplicated (handlers must be
+    idempotent), and/or delayed.  ``expires_at`` lets the chaos monkey
+    install bounded impairment windows.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    extra_delay_s: float = 0.0
+    delay_jitter_s: float = 0.0
+    expires_at: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        return self.expires_at is None or now < self.expires_at
+
+
 class Network:
     """A set of servers and the links between them."""
 
@@ -80,6 +103,11 @@ class Network:
         self.servers: Dict[str, Server] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self.dropped_to_failed = 0
+        self._impairment: Optional[ControlImpairment] = None
+        self._impair_rng = None
+        self.control_messages = 0
+        self.control_drops = 0
+        self.control_dups = 0
 
     # -- construction --------------------------------------------------------
 
@@ -157,6 +185,48 @@ class Network:
             return 0.0
         return 2.0 * self.hop_delay_s
 
+    def impair(self, drop_rate: float = 0.0, dup_rate: float = 0.0,
+               extra_delay_s: float = 0.0, delay_jitter_s: float = 0.0,
+               duration_s: Optional[float] = None,
+               seed: int = 0) -> ControlImpairment:
+        """Install control-plane impairment (chaos fault injection).
+
+        Applies to every subsequent :meth:`control_call` leg until
+        ``duration_s`` elapses (or :meth:`clear_impairment`).  Draws
+        come from a dedicated seeded stream so impaired runs stay
+        exactly reproducible.
+        """
+        from ..sim import RandomStreams
+        self._impairment = ControlImpairment(
+            drop_rate=drop_rate, dup_rate=dup_rate,
+            extra_delay_s=extra_delay_s, delay_jitter_s=delay_jitter_s,
+            expires_at=(None if duration_s is None
+                        else self.sim.now + duration_s))
+        if self._impair_rng is None:
+            self._impair_rng = RandomStreams(seed).stream("control-impairment")
+        return self._impairment
+
+    def clear_impairment(self) -> None:
+        self._impairment = None
+
+    def _impaired_leg(self) -> Tuple[int, float]:
+        """(copies delivered, extra delay) for one control-message leg."""
+        imp = self._impairment
+        if imp is None or not imp.active(self.sim.now):
+            return 1, 0.0
+        rng = self._impair_rng
+        copies = 1
+        if imp.drop_rate and rng.random() < imp.drop_rate:
+            copies = 0
+            self.control_drops += 1
+        elif imp.dup_rate and rng.random() < imp.dup_rate:
+            copies = 2
+            self.control_dups += 1
+        extra = imp.extra_delay_s
+        if imp.delay_jitter_s:
+            extra += rng.uniform(0.0, imp.delay_jitter_s)
+        return copies, extra
+
     def control_call(self, src: str, dst: str,
                      handler: Callable[[], object],
                      payload_bytes: int = 256,
@@ -165,19 +235,28 @@ class Network:
 
         The handler runs on ``dst`` after a one-way delay; the result
         arrives back at ``src`` after transfer of ``response_bytes``.
+        Either leg may be dropped/duplicated/delayed while an
+        impairment is installed -- silence is the caller's problem
+        (see ``repro.net.retry`` for the timeout/retry wrapper).
         """
         done = self.sim.event()
         one_way = self.control_rtt(src, dst) / 2.0
         transfer = ((payload_bytes + response_bytes) * 8.0 /
                     self.control_bandwidth_bps)
+        self.control_messages += 1
 
         def at_destination():
             if self.servers[dst].failed:
                 # The caller's timeout logic must handle silence.
                 return
             result = handler()
-            self.sim.schedule_callback(one_way + transfer,
-                                       lambda: done.succeed(result))
+            copies, extra = self._impaired_leg()
+            for _ in range(copies):
+                self.sim.schedule_callback(
+                    one_way + transfer + extra,
+                    lambda: None if done.triggered else done.succeed(result))
 
-        self.sim.schedule_callback(one_way, at_destination)
+        copies, extra = self._impaired_leg()
+        for _ in range(copies):
+            self.sim.schedule_callback(one_way + extra, at_destination)
         return done

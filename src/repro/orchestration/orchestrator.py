@@ -10,16 +10,32 @@ replica's control module each interval and declares a failure after
 the §5.2 procedure (``repro.core.recovery``), with the initialization
 delay derived from the orchestrator-to-region control RTT -- exactly
 the dependence Fig 13 measures.
+
+Monitoring continues *during* recovery (§5.2: FTC tolerates failures
+that strike while recovery is in progress): positions not currently
+being recovered keep getting probed, and a crash detected mid-recovery
+aborts the running attempt and re-enters ``recover_positions`` with
+the union of failed positions.  Heartbeats and recovery fetches ride
+the ``repro.net.retry`` policy, so a dropped control message costs a
+bounded timeout, never a hang.  When more than f members of a group
+are gone, the chain enters *degraded* mode (the failure event carries
+the error, meters keep reporting) instead of killing the simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core.chain import FTCChain
-from ..core.recovery import RecoveryReport, recover_positions
-from ..sim import AnyOf, CancelledError, Interrupt, Simulator
+from ..core.recovery import (
+    RecoveryError,
+    RecoveryReport,
+    UnrecoverableError,
+    recover_positions,
+)
+from ..net.retry import RetryPolicy, reliable_call
+from ..sim import CancelledError, Interrupt, Simulator
 
 __all__ = ["Orchestrator", "FailureEvent"]
 
@@ -39,10 +55,19 @@ class FailureEvent:
     detected_at: float
     detection_delay_s: float
     report: Optional[RecoveryReport] = None
+    #: Set when recovery gave up (>f members of a group gone).
+    error: Optional[str] = None
+    #: recover_positions entries made while this event was open (>1
+    #: means the attempt was re-entered, e.g. a crash during recovery).
+    recovery_attempts: int = 0
 
     @property
     def recovery_s(self) -> float:
         return self.report.total_s if self.report else float("inf")
+
+    @property
+    def recovered(self) -> bool:
+        return self.report is not None and self.error is None
 
 
 class Orchestrator:
@@ -52,6 +77,9 @@ class Orchestrator:
                  heartbeat_interval_s: float = 2e-3,
                  misses_allowed: int = 2,
                  region: Optional[str] = None,
+                 heartbeat_retry: Optional[RetryPolicy] = None,
+                 recovery_retry: Optional[RetryPolicy] = None,
+                 max_recovery_attempts: int = 20,
                  name: str = "orchestrator"):
         self.sim = sim
         self.chain = chain
@@ -59,22 +87,59 @@ class Orchestrator:
         self.misses_allowed = misses_allowed
         self.region = region
         self.name = name
+        #: Two quick probes per round, fitting the classic 0.8*interval
+        #: budget; no jitter so detection-delay bounds stay deterministic.
+        self.heartbeat_retry = heartbeat_retry or RetryPolicy(
+            timeout_s=heartbeat_interval_s * 0.4, max_attempts=2,
+            backoff_base_s=0.0, jitter_frac=0.0)
+        self.recovery_retry = recovery_retry or RetryPolicy()
+        self.max_recovery_attempts = max_recovery_attempts
+        #: Observers called as ``hook(phase, positions)`` on every
+        #: recovery phase -- the chaos subsystem injects
+        #: failures-during-recovery through these.
+        self.recovery_hooks: List[Callable[[str, List[int]], None]] = []
         self.history: List[FailureEvent] = []
         self.heartbeats_sent = 0
+        self.control_retries = 0
         self._misses: Dict[int, int] = {}
         self._last_seen_alive: Dict[int, float] = {}
         self._process = None
-        self._recovering = False
+        self._recovering_positions: Set[int] = set()
+        self._lost_positions: Set[int] = set()
+        self._recovery_driver = None
+        self._recovery_inner = None
+        self._open_events: List[FailureEvent] = []
+        self._stopping = False
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
+        self._stopping = False
         self._process = self.sim.process(self._monitor_loop(), name=self.name)
 
     def stop(self) -> None:
+        self._stopping = True
         if self._process is not None and self._process.is_alive:
             self._process.interrupt("stopped")
         self._process = None
+        if self._recovery_inner is not None and self._recovery_inner.is_alive:
+            self._recovery_inner.interrupt("stopped")
+
+    # -- introspection (chaos / tests) -------------------------------------------------
+
+    @property
+    def recovering_positions(self) -> Set[int]:
+        """Positions a recovery attempt currently covers."""
+        return set(self._recovering_positions)
+
+    @property
+    def lost_positions(self) -> Set[int]:
+        """Positions abandoned to degraded mode (>f group members gone)."""
+        return set(self._lost_positions)
+
+    @property
+    def recovery_in_progress(self) -> bool:
+        return self._recovery_driver is not None and self._recovery_driver.is_alive
 
     # -- orchestrator-to-region latency -----------------------------------------------
 
@@ -100,13 +165,12 @@ class Orchestrator:
         """One heartbeat: an RPC that only an alive replica answers."""
         server = self.chain.server_at(position)
         self.heartbeats_sent += 1
-        call = self.chain.net.control_call(
-            self.chain.route[position], self.chain.route[position],
-            lambda: not server.failed, payload_bytes=64, response_bytes=64)
-        deadline = self.sim.timeout(self.heartbeat_interval_s * 0.8)
-        yield AnyOf(self.sim, [call, deadline])
-        alive = call.processed and call.ok and call.value
-        if alive:
+        result = yield from reliable_call(
+            self.chain.net, self.chain.route[position],
+            self.chain.route[position], lambda: not server.failed,
+            policy=self.heartbeat_retry, payload_bytes=64, response_bytes=64)
+        self.control_retries += result.retries
+        if result.ok and result.value:
             self._misses[position] = 0
             self._last_seen_alive[position] = self.sim.now
         else:
@@ -119,33 +183,133 @@ class Orchestrator:
         try:
             while True:
                 yield self.sim.timeout(self.heartbeat_interval_s)
-                if self._recovering:
-                    continue
+                skip = self._recovering_positions | self._lost_positions
+                active = [position for position in range(self.chain.n_positions)
+                          if position not in skip]
                 pings = [self.sim.process(self._ping(position))
-                         for position in range(self.chain.n_positions)]
+                         for position in active]
                 for ping in pings:
                     yield ping
-                failed = [position for position, misses in self._misses.items()
-                          if misses > self.misses_allowed]
+                failed = [position for position in active
+                          if self._misses.get(position, 0) > self.misses_allowed
+                          and position not in self._recovering_positions]
                 if failed:
-                    yield from self._handle_failure(failed)
+                    self._declare_failed(failed)
         except (Interrupt, CancelledError):
             return
 
-    def _handle_failure(self, positions: List[int]):
-        self._recovering = True
+    # -- recovery coordination ---------------------------------------------------------
+
+    def _declare_failed(self, positions: List[int]) -> None:
+        """Open a failure event and (re-)drive recovery for the union."""
         detection_delay = max(
             self.sim.now - self._last_seen_alive[p] for p in positions)
         event = FailureEvent(positions=list(positions),
                              detected_at=self.sim.now,
                              detection_delay_s=detection_delay)
         self.history.append(event)
-        report = yield self.sim.process(recover_positions(
-            self.chain, positions,
-            init_delay_s=self.init_delay_for(positions),
-            reroute_delay_s=REROUTE_DELAY_S))
-        event.report = report
-        for position in positions:
-            self._misses[position] = 0
-            self._last_seen_alive[position] = self.sim.now
-        self._recovering = False
+        self._open_events.append(event)
+        self._recovering_positions |= set(positions)
+        if self._recovery_inner is not None and self._recovery_inner.is_alive:
+            # §5.2: a failure during recovery aborts the running attempt;
+            # the driver re-enters with the union of failed positions.
+            self._recovery_inner.interrupt(f"additional failures {positions}")
+        if self._recovery_driver is None or not self._recovery_driver.is_alive:
+            self._recovery_driver = self.sim.process(
+                self._recover_loop(), name=f"{self.name}/recovery")
+
+    def _fire_recovery_hooks(self, phase: str, positions: List[int]) -> None:
+        for hook in list(self.recovery_hooks):
+            hook(phase, positions)
+
+    def _recover_loop(self):
+        attempts = 0
+        try:
+            while self._recovering_positions and not self._stopping:
+                positions = sorted(self._recovering_positions)
+                attempts += 1
+                for event in self._open_events:
+                    event.recovery_attempts += 1
+                inner = self.sim.process(recover_positions(
+                    self.chain, positions,
+                    init_delay_s=self.init_delay_for(positions),
+                    reroute_delay_s=REROUTE_DELAY_S,
+                    retry_policy=self.recovery_retry,
+                    hooks=self._fire_recovery_hooks))
+                self._recovery_inner = inner
+                try:
+                    report = yield inner
+                except Interrupt:
+                    if self._stopping:
+                        return
+                    continue  # union changed; re-enter immediately
+                except UnrecoverableError as exc:
+                    # Some suspects may be false positives (heartbeats
+                    # lost to an impaired control plane): re-probe with
+                    # the more patient recovery policy before giving up.
+                    cleared = yield from self._reprobe_suspects()
+                    if cleared:
+                        if self._recovering_positions:
+                            continue
+                        for event in self._open_events:
+                            event.error = "false suspicion cleared by re-probe"
+                        self._open_events = []
+                        return
+                    self._abandon(positions, exc)
+                    return
+                except RecoveryError as exc:
+                    if attempts >= self.max_recovery_attempts:
+                        self._abandon(positions, exc)
+                        return
+                    # A source died (or the control plane is impaired)
+                    # mid-fetch; give the next heartbeat round a chance
+                    # to spot new corpses, then re-enter.
+                    yield self.sim.timeout(self.heartbeat_interval_s)
+                    continue
+                self.control_retries += report.control_retries
+                for position in positions:
+                    self._misses[position] = 0
+                    self._last_seen_alive[position] = self.sim.now
+                self._recovering_positions -= set(positions)
+                if not self._recovering_positions:
+                    for event in self._open_events:
+                        event.report = report
+                    self._open_events = []
+        except (Interrupt, CancelledError):
+            return
+        finally:
+            self._recovery_inner = None
+            self._recovery_driver = None
+
+    def _reprobe_suspects(self):
+        """Re-ping every suspected position; un-suspect the live ones.
+
+        Returns True if any suspect answered (it was a false positive;
+        recovery can re-enter with a smaller, possibly empty, set).
+        """
+        cleared = False
+        for position in sorted(self._recovering_positions):
+            server = self.chain.server_at(position)
+            result = yield from reliable_call(
+                self.chain.net, self.chain.route[position],
+                self.chain.route[position],
+                lambda server=server: not server.failed,
+                policy=self.recovery_retry, payload_bytes=64,
+                response_bytes=64)
+            self.control_retries += result.retries
+            if result.ok and result.value:
+                self._recovering_positions.discard(position)
+                self._misses[position] = 0
+                self._last_seen_alive[position] = self.sim.now
+                cleared = True
+        return cleared
+
+    def _abandon(self, positions: List[int], exc: Exception) -> None:
+        """Degrade gracefully: >f members of some group are gone."""
+        self.chain.degraded = True
+        self.chain.degraded_reason = str(exc)
+        for event in self._open_events:
+            event.error = str(exc)
+        self._open_events = []
+        self._lost_positions |= set(positions)
+        self._recovering_positions.clear()

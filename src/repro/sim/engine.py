@@ -69,7 +69,8 @@ class Event:
     simulator processes the event.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused",
+                 "_cancelled")
 
     _PENDING = object()
 
@@ -80,6 +81,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -103,6 +105,10 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value``."""
+        if self._cancelled:
+            # A late completion of a withdrawn event (e.g. a control-call
+            # response arriving after its caller timed out and retried).
+            return self
         if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
@@ -119,6 +125,8 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimulationError(f"{exception!r} is not an exception")
+        if self._cancelled:
+            return self
         if self.triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
@@ -129,6 +137,20 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled out-of-band."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Withdraw a pending or in-flight event.
+
+        A cancelled event never runs its callbacks: if it is already on
+        the heap (e.g. the losing deadline of an ``AnyOf`` race) it is
+        discarded when popped, without advancing the clock; a later
+        ``succeed``/``fail`` becomes a silent no-op.  Only cancel events
+        nothing is waiting on -- waiters of a cancelled event are never
+        resumed.
+        """
+        if self.processed:
+            return
+        self._cancelled = True
 
     def __repr__(self):
         state = "pending"
@@ -386,10 +408,14 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (cancelled events are discarded)."""
         if not self._queue:
             raise SimulationError("no scheduled events")
         when, _prio, _eid, event = heapq.heappop(self._queue)
+        if event._cancelled:
+            # Discarded without running callbacks or advancing the
+            # clock; the event stays unprocessed forever.
+            return
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -222,3 +222,178 @@ class TestMultipleFailures:
             stores = group_stores(chain, mbox.name)
             assert all(s == stores[0] for s in stores)
             assert mbox.total_count(stores[0]) >= released
+
+
+def all_states(chain):
+    return [state for replica in chain.replicas
+            for state in replica.states.values()]
+
+
+class TestExceptionSafety:
+    """The hardened §5.2 path: aborts and mid-flight faults leave the
+    chain exactly as it was (sources thawed, spawned replicas released)."""
+
+    FAST_RETRY = None  # set in setup_method (import kept local)
+
+    def setup_method(self, _method):
+        from repro.net import RetryPolicy
+        self.FAST_RETRY = RetryPolicy(timeout_s=1e-3, max_attempts=2,
+                                      backoff_base_s=0.1e-3, jitter_frac=0.0)
+
+    def _fail_and_attempt(self, sim, chain, hooks):
+        """Fail p1, run one recovery attempt with ``hooks``; return the
+        exception box."""
+        from repro.core import RecoveryError
+        gen = TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                               flows=balanced_flows(8, 2))
+        caught = []
+
+        def chaos(sim):
+            yield sim.timeout(0.002)
+            chain.fail_position(1)
+            try:
+                yield sim.process(recover_positions(
+                    chain, [1], retry_policy=self.FAST_RETRY, hooks=hooks))
+            except RecoveryError as exc:
+                caught.append(exc)
+
+        sim.process(chaos(sim))
+        sim.run(until=0.015)
+        gen.stop()
+        return caught
+
+    def test_source_death_mid_fetch_thaws_and_releases(self):
+        """A fetch source dying mid-transfer surfaces as RecoveryError;
+        frozen sources are thawed and spawned instances released."""
+        sim = Simulator()
+        chain, _ = build(sim, ch_n(4, n_threads=2), f=2)
+        route_before = list(chain.route)
+
+        def hooks(phase, positions):
+            # Kill the monitor2 fetch source the instant fetching starts.
+            if phase == "fetching" and not chain.server_at(2).failed:
+                chain.fail_position(2)
+
+        caught = self._fail_and_attempt(sim, chain, hooks)
+        assert caught, "source death must surface as RecoveryError"
+        assert all(not state.frozen for state in all_states(chain))
+        # The chain itself is untouched: route unchanged, and every
+        # server outside it (the half-spawned replacements) released.
+        assert chain.route == route_before
+        for name, server in chain.net.servers.items():
+            if name not in chain.route:
+                assert server.failed
+
+    def test_reentry_with_union_succeeds_after_source_death(self):
+        """§5.2 re-entry: after the source died mid-fetch, recovering
+        the union of failed positions completes and converges."""
+        sim = Simulator()
+        chain, _ = build(sim, ch_n(4, n_threads=2), f=2)
+        gen = TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                               flows=balanced_flows(8, 2))
+        reports = []
+
+        def hooks(phase, positions):
+            if phase == "fetching" and positions == [1] \
+                    and not chain.server_at(2).failed:
+                chain.fail_position(2)
+
+        def chaos(sim):
+            from repro.core import RecoveryError
+            yield sim.timeout(0.002)
+            chain.fail_position(1)
+            try:
+                yield sim.process(recover_positions(
+                    chain, [1], retry_policy=self.FAST_RETRY, hooks=hooks))
+            except RecoveryError:
+                report = yield sim.process(recover_positions(
+                    chain, [1, 2], retry_policy=self.FAST_RETRY, hooks=hooks))
+                reports.append(report)
+
+        sim.process(chaos(sim))
+        sim.run(until=0.025)
+        gen.stop()
+        sim.run(until=0.03)
+        assert reports, "union re-entry must complete"
+        assert reports[0].positions == [1, 2]
+        released = chain.total_released()
+        assert released > 0
+        for mbox in chain.middleboxes:
+            stores = group_stores(chain, mbox.name)
+            assert all(s == stores[0] for s in stores)
+            assert mbox.total_count(stores[0]) >= released
+
+    def test_unrecoverable_raises_before_any_freeze(self):
+        """Planning-first: an unrecoverable group is detected before a
+        single source is frozen."""
+        sim = Simulator()
+        chain, _ = build(sim, ch_n(3, n_threads=2), f=1)
+        errors = []
+
+        def chaos(sim):
+            yield sim.timeout(0.002)
+            chain.fail_position(0)
+            chain.fail_position(1)
+            try:
+                yield sim.process(recover_positions(chain, [0, 1]))
+            except UnrecoverableError as exc:
+                errors.append(exc)
+
+        sim.process(chaos(sim))
+        sim.run(until=0.02)
+        assert errors
+        assert all(not state.frozen for state in all_states(chain))
+
+    def test_interrupted_recovery_leaves_chain_intact_and_retryable(self):
+        """Aborting mid-fetch (the union re-entry mechanism) rolls back
+        cleanly; an immediate retry succeeds."""
+        from repro.sim import Interrupt
+        sim = Simulator()
+        chain, _ = build(sim, ch_n(3, n_threads=2))
+        gen = TrafficGenerator(sim, chain.ingress, rate_pps=1e6,
+                               flows=balanced_flows(8, 2))
+        route_before = list(chain.route)
+        outcomes = []
+
+        def chaos(sim):
+            yield sim.timeout(0.002)
+            chain.fail_position(1)
+            attempt = sim.process(recover_positions(chain, [1]))
+            sim.schedule_callback(
+                0.3e-3, lambda: attempt.interrupt("chaos") if attempt.is_alive
+                else None)
+            try:
+                yield attempt
+            except Interrupt:
+                outcomes.append("interrupted")
+                assert chain.route == route_before
+                assert all(not s.frozen for s in all_states(chain))
+                report = yield sim.process(recover_positions(chain, [1]))
+                outcomes.append(report)
+
+        sim.process(chaos(sim))
+        sim.run(until=0.025)
+        gen.stop()
+        sim.run(until=0.03)
+        assert outcomes and outcomes[0] == "interrupted"
+        assert len(outcomes) == 2
+        assert not chain.server_at(1).failed
+        for mbox in chain.middleboxes:
+            stores = group_stores(chain, mbox.name)
+            assert all(s == stores[0] for s in stores)
+
+    def test_hook_phases_fire_in_order(self):
+        from repro.core import RECOVERY_PHASES
+        sim = Simulator()
+        chain, _ = build(sim, ch_n(3, n_threads=2))
+        phases = []
+
+        def chaos(sim):
+            yield sim.timeout(0.002)
+            chain.fail_position(1)
+            yield sim.process(recover_positions(
+                chain, [1], hooks=lambda ph, _pos: phases.append(ph)))
+
+        sim.process(chaos(sim))
+        sim.run(until=0.02)
+        assert phases == list(RECOVERY_PHASES)

@@ -1,0 +1,67 @@
+"""Event cancellation semantics (the AnyOf-loser withdrawal primitive)."""
+
+from repro.sim import AnyOf, Simulator
+
+
+class TestCancel:
+    def test_cancelled_callback_never_runs(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_callback(1.0, lambda: fired.append(True))
+        event.cancel()
+        sim.run(until=2.0)
+        assert fired == []
+
+    def test_cancelled_timeout_does_not_trigger(self):
+        sim = Simulator()
+        timeout = sim.timeout(1.0)
+        timeout.cancel()
+        sim.run(until=2.0)
+        assert not timeout.processed
+
+    def test_late_succeed_is_silent(self):
+        sim = Simulator()
+        event = sim.event()
+        event.cancel()
+        event.succeed(42)  # must not raise or trigger
+        event.fail(RuntimeError("late"))  # must not raise either
+        sim.run(until=1.0)
+        assert not event.triggered
+
+    def test_cancel_after_processed_is_noop(self):
+        sim = Simulator()
+        timeout = sim.timeout(0.5)
+        sim.run(until=1.0)
+        assert timeout.processed
+        timeout.cancel()  # no-op
+        assert timeout.processed
+
+    def test_anyof_loser_cancellation_pattern(self):
+        """The race idiom: cancel whichever of (call, deadline) loses."""
+        sim = Simulator()
+        outcome = []
+
+        def racer():
+            fast = sim.timeout(0.1, value="fast")
+            slow = sim.timeout(5.0, value="slow")
+            yield AnyOf(sim, [fast, slow])
+            if fast.processed:
+                slow.cancel()
+                outcome.append("fast")
+            else:
+                fast.cancel()
+                outcome.append("slow")
+
+        sim.process(racer())
+        sim.run(until=10.0)
+        assert outcome == ["fast"]
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        sim = Simulator()
+        seen = []
+        far = sim.schedule_callback(100.0, lambda: None)
+        far.cancel()
+        sim.schedule_callback(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0]
+        assert sim.now <= 100.0

@@ -52,6 +52,18 @@ class TestRun:
                   "--duration", "0.001"])
 
 
+class TestChaos:
+    def test_short_soak_exits_zero(self, capsys):
+        code = main(["chaos", "--seed", "3", "--schedules", "2",
+                     "--faults", "2", "--lengths", "2,3",
+                     "--f-values", "1", "--duration", "0.03", "-v"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos soak: 2 schedules" in out
+        assert "0 invariant violations" in out
+        assert "schedule   0" in out  # verbose per-schedule lines
+
+
 class TestExperiment:
     def test_unknown_experiment_rejected(self, capsys):
         with pytest.raises(SystemExit):
