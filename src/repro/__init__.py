@@ -18,6 +18,8 @@ The package implements the FTC protocol and everything it runs on:
 * :mod:`repro.chaos` -- fault-injection plans, the chaos monkey,
   invariant auditing, and the randomized soak harness.
 * :mod:`repro.metrics` -- throughput/latency meters and statistics.
+* :mod:`repro.telemetry` -- opt-in chain-wide observability: metric
+  registry, sampled per-packet Chrome traces, recovery timelines.
 * :mod:`repro.experiments` -- regeneration of every evaluation table
   and figure.
 

@@ -176,6 +176,30 @@ class InvariantAuditor:
                             f"{mbox.name} p{position}: fully-committed log "
                             f"{log!r} not pruned")
 
+    def check_timeline_consistency(self) -> None:
+        """Telemetry invariant: committed timeline attempts must carry
+        per-phase durations summing exactly to some recovery report's
+        total (the §5.2 phases partition the recovery span)."""
+        if self.orchestrator is None:
+            return
+        telemetry = getattr(self.orchestrator, "telemetry", None)
+        if telemetry is None or not telemetry.timeline.enabled:
+            return
+        totals = [a.total_s for a in telemetry.timeline.committed_attempts()]
+        seen: Set[int] = set()
+        for event in self.orchestrator.history:
+            report = event.report
+            if report is None or id(report) in seen:
+                continue
+            seen.add(id(report))
+            if not any(abs(t - report.total_s) <= 1e-12 for t in totals):
+                self._flag(
+                    "timeline-consistency",
+                    f"recovery report total {report.total_s * 1e3:.6f}ms for "
+                    f"positions {report.positions} has no matching committed "
+                    f"timeline attempt (attempt totals: "
+                    f"{[round(t * 1e3, 6) for t in totals]}ms)")
+
     def check_convergence(self) -> None:
         """Invariant 4 (quiescent): group members hold identical state."""
         for index, mbox in enumerate(self.chain.middleboxes):
@@ -214,6 +238,7 @@ class InvariantAuditor:
         self.check_log_propagation()
         self.check_release_safety()
         self.check_pruning_bound()
+        self.check_timeline_consistency()
         if quiescent:
             self.check_convergence()
         return self.violations[before:]

@@ -118,15 +118,18 @@ class ChaosMonkey:
         except (Interrupt, CancelledError):
             return
 
-    def _record(self, what: str) -> None:
-        self.injected.append((self.chain.sim.now, what))
+    def _record(self, what: str, positions: Tuple[int, ...] = ()) -> None:
+        now = self.chain.sim.now
+        self.injected.append((now, what))
+        self.orchestrator.telemetry.timeline.record(
+            "fault-injected", positions, detail=what, t=now)
 
     def _do_crash(self) -> None:
         position = self._pick_crash_position()
         if position is None:
             return  # every further crash would exceed some group's f
         self.chain.fail_position(position)
-        self._record(f"crash p{position}")
+        self._record(f"crash p{position}", positions=(position,))
 
     def _do_impair(self) -> None:
         self.chain.net.impair(
@@ -160,4 +163,5 @@ class ChaosMonkey:
         self._pending_recovery_crash = False
         target = candidates[self.rng.randrange(len(candidates))]
         self.chain.fail_position(target)
-        self._record(f"crash p{target} during recovery of {positions}")
+        self._record(f"crash p{target} during recovery of {positions}",
+                     positions=(target,))

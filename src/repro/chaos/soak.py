@@ -20,6 +20,7 @@ from ..middlebox import ch_n
 from ..net import TrafficGenerator, balanced_flows
 from ..orchestration import Orchestrator
 from ..sim import Simulator
+from ..telemetry import MetricRegistry, Telemetry
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
 from .monkey import ChaosMonkey
 
@@ -47,6 +48,9 @@ class SoakConfig:
     rate_pps: float = 2e4
     heartbeat_interval_s: float = 1e-3
     mean_fault_interval_s: float = 8e-3
+    #: Collect per-schedule recovery timelines and an aggregate metric
+    #: registry (purely observational; schedules stay bit-identical).
+    telemetry: bool = False
 
 
 @dataclass
@@ -63,6 +67,8 @@ class ScheduleResult:
     failures_detected: int = 0
     recoveries: int = 0
     degraded: bool = False
+    #: Structured recovery timeline (event dicts), when telemetry ran.
+    timeline: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -75,6 +81,8 @@ class SoakResult:
 
     config: SoakConfig
     schedules: List[ScheduleResult] = field(default_factory=list)
+    #: Metric registry merged across schedules (telemetry runs only).
+    registry: Optional[MetricRegistry] = None
 
     @property
     def violations(self) -> List[InvariantViolation]:
@@ -114,12 +122,14 @@ def run_schedule(seed: int, chain_length: int, f: int,
                  max_faults: int = 3, duration_s: float = 60e-3,
                  rate_pps: float = 2e4, heartbeat_interval_s: float = 1e-3,
                  mean_fault_interval_s: float = 8e-3,
-                 index: int = 0) -> ScheduleResult:
+                 index: int = 0,
+                 telemetry: Optional[Telemetry] = None) -> ScheduleResult:
     """One randomized fault schedule on a fresh Ch-``chain_length`` chain."""
     sim = Simulator()
     oracle = ShadowOracle()
     chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
-                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed)
+                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed,
+                     telemetry=telemetry)
     chain.start()
     orchestrator = Orchestrator(sim, chain,
                                 heartbeat_interval_s=heartbeat_interval_s)
@@ -153,7 +163,9 @@ def run_schedule(seed: int, chain_length: int, f: int,
         released=oracle.released,
         failures_detected=len(orchestrator.history),
         recoveries=sum(1 for e in orchestrator.history if e.recovered),
-        degraded=chain.degraded)
+        degraded=chain.degraded,
+        timeline=([] if telemetry is None
+                  else telemetry.timeline.as_dicts()))
 
 
 def run_soak(config: Optional[SoakConfig] = None,
@@ -162,17 +174,22 @@ def run_soak(config: Optional[SoakConfig] = None,
     the (chain length, f) grid), each seeded from ``config.seed``."""
     config = config or SoakConfig()
     result = SoakResult(config=config)
+    if config.telemetry:
+        result.registry = MetricRegistry()
     grid = [(n, f) for n in config.chain_lengths for f in config.f_values]
     for index in range(config.schedules):
         chain_length, f = grid[index % len(grid)]
         seed = config.seed * 10_000 + index
+        telemetry = Telemetry() if config.telemetry else None
         schedule = run_schedule(
             seed=seed, chain_length=chain_length, f=f,
             max_faults=config.faults_per_schedule,
             duration_s=config.duration_s, rate_pps=config.rate_pps,
             heartbeat_interval_s=config.heartbeat_interval_s,
             mean_fault_interval_s=config.mean_fault_interval_s,
-            index=index)
+            index=index, telemetry=telemetry)
+        if telemetry is not None:
+            result.registry.merge(telemetry.registry)
         result.schedules.append(schedule)
         if progress is not None:
             progress(schedule)

@@ -1,15 +1,19 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro list                    # available middleboxes/systems
     python -m repro run --chain monitor,monitor --system ftc --rate 2e6
     python -m repro experiment fig9         # regenerate a table/figure
     python -m repro chaos --seed 0 --faults 3   # fault-injection soak
+    python -m repro trace --out trace.json  # sampled Chrome trace
 
 ``run`` builds the requested chain under the requested system, drives
 it for a simulated duration, and prints throughput/latency plus the
-per-middlebox state summary.
+per-middlebox state summary; ``--telemetry`` adds the chain-wide metric
+summary (PROTOCOL.md §7).  ``trace`` is ``run`` with per-packet span
+recording on, exporting Chrome ``trace_event`` JSON for
+``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -39,25 +43,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list middlebox kinds, systems, experiments")
 
+    def _chain_options(cmd):
+        cmd.add_argument("--chain", default="monitor,monitor",
+                         help="comma-separated middlebox kinds (see 'list')")
+        cmd.add_argument("--system", default="ftc",
+                         help="nf | ftc | ftmb | ftmb+snapshot | remote-store")
+        cmd.add_argument("--rate", type=float, default=1e6,
+                         help="offered load in packets/second")
+        cmd.add_argument("--duration", type=float, default=0.01,
+                         help="simulated seconds of traffic")
+        cmd.add_argument("--threads", type=int, default=8,
+                         help="worker threads per server")
+        cmd.add_argument("-f", type=int, default=1, dest="failures",
+                         help="failures to tolerate (FTC only)")
+        cmd.add_argument("--packet-size", type=int, default=256)
+        cmd.add_argument("--flows", type=int, default=64)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--fail-at", type=float, default=None,
+                         help="inject a failure at this time (FTC only)")
+        cmd.add_argument("--fail-position", type=int, default=0)
+
     run = sub.add_parser("run", help="simulate a chain under a system")
-    run.add_argument("--chain", default="monitor,monitor",
-                     help="comma-separated middlebox kinds (see 'list')")
-    run.add_argument("--system", default="ftc",
-                     help="nf | ftc | ftmb | ftmb+snapshot | remote-store")
-    run.add_argument("--rate", type=float, default=1e6,
-                     help="offered load in packets/second")
-    run.add_argument("--duration", type=float, default=0.01,
-                     help="simulated seconds of traffic")
-    run.add_argument("--threads", type=int, default=8,
-                     help="worker threads per server")
-    run.add_argument("-f", type=int, default=1, dest="failures",
-                     help="failures to tolerate (FTC only)")
-    run.add_argument("--packet-size", type=int, default=256)
-    run.add_argument("--flows", type=int, default=64)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--fail-at", type=float, default=None,
-                     help="inject a failure at this time (FTC only)")
-    run.add_argument("--fail-position", type=int, default=0)
+    _chain_options(run)
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect chain-wide metrics and print the "
+                          "telemetry summary (FTC only)")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="with --telemetry: also export a Chrome trace")
+
+    trace = sub.add_parser(
+        "trace", help="record a sampled per-packet Chrome trace")
+    _chain_options(trace)
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--sample", type=int, default=1,
+                       help="trace every Nth packet id (default: all)")
+    trace.add_argument("--timeline", action="store_true",
+                       help="also print the recovery timeline report")
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("name", choices=_EXPERIMENTS)
@@ -80,6 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="offered load in packets/second")
     chaos.add_argument("-v", "--verbose", action="store_true",
                        help="print each schedule as it completes")
+    chaos.add_argument("--telemetry", action="store_true",
+                       help="aggregate chain-wide metrics and recovery "
+                            "timelines across schedules")
     return parser
 
 
@@ -92,14 +117,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _run_chain(args, telemetry=None):
+    """Shared run/trace driver; returns (system, generator, egress,
+    middleboxes) after the simulation has completed."""
     sim = Simulator()
     egress = EgressRecorder(sim)
     middleboxes = [create(kind.strip(), name=f"{kind.strip()}{i}")
                    for i, kind in enumerate(args.chain.split(","))]
     system = _systems.build_system(
         args.system, sim, middleboxes, egress, n_threads=args.threads,
-        f=args.failures, seed=args.seed)
+        f=args.failures, seed=args.seed, telemetry=telemetry)
     system.start()
     generator = TrafficGenerator(
         sim, system.ingress, rate_pps=args.rate,
@@ -109,14 +136,24 @@ def _cmd_run(args) -> int:
     if args.fail_at is not None:
         if not hasattr(system, "fail_position"):
             print("--fail-at requires --system ftc", file=sys.stderr)
-            return 2
+            return None
         from .core import recover_positions
+
+        hooks = None
+        if telemetry is not None:
+            hooks = (lambda phase, positions:
+                     telemetry.timeline.record(phase, positions, t=sim.now))
 
         def chaos(sim):
             yield sim.timeout(args.fail_at)
             system.fail_position(args.fail_position)
+            if telemetry is not None:
+                telemetry.timeline.record(
+                    "fault-injected", [args.fail_position],
+                    detail="--fail-at", t=sim.now)
             report = yield sim.process(
-                recover_positions(system, [args.fail_position]))
+                recover_positions(system, [args.fail_position],
+                                  hooks=hooks))
             print(f"[{sim.now * 1e3:.2f} ms] recovered position "
                   f"{args.fail_position} in {report.total_s * 1e3:.2f} ms")
 
@@ -126,10 +163,15 @@ def _cmd_run(args) -> int:
     sim.run(until=warmup)
     egress.throughput.start_window()
     egress.latency.start_after(warmup)
+    if telemetry is not None:
+        telemetry.start_window(sim.now)
     sim.run(until=args.duration)
     generator.stop()
     sim.run(until=args.duration + 0.5e-3)
+    return system, generator, egress, middleboxes
 
+
+def _print_run_summary(args, system, generator, egress, middleboxes) -> None:
     print(f"\n{args.system.upper()} chain: "
           f"{' -> '.join(m.name for m in middleboxes)}")
     print(f"offered {generator.sent} packets at {args.rate:g} pps; "
@@ -145,6 +187,45 @@ def _cmd_run(args) -> int:
     print()
     print(format_table(["middlebox", "function", "processed", "dropped"],
                        rows))
+
+
+def _make_telemetry(args, sample_every: int = 1):
+    if args.system.lower() != "ftc":
+        print(f"note: telemetry hooks only instrument the FTC chain; "
+              f"--system {args.system} runs without them", file=sys.stderr)
+    from .telemetry import Telemetry
+    return Telemetry(sample_every=sample_every)
+
+
+def _cmd_run(args) -> int:
+    telemetry = _make_telemetry(args) if args.telemetry else None
+    result = _run_chain(args, telemetry=telemetry)
+    if result is None:
+        return 2
+    _print_run_summary(args, *result)
+    if telemetry is not None:
+        print()
+        print(telemetry.summary_table())
+        if args.trace_out:
+            telemetry.export_chrome(args.trace_out)
+            print(f"chrome trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    telemetry = _make_telemetry(args, sample_every=max(1, args.sample))
+    result = _run_chain(args, telemetry=telemetry)
+    if result is None:
+        return 2
+    _print_run_summary(args, *result)
+    print()
+    print(telemetry.summary_table())
+    if args.timeline and telemetry.timeline.events:
+        print()
+        print(telemetry.timeline.render())
+    telemetry.export_chrome(args.out)
+    print(f"chrome trace written to {args.out} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -168,7 +249,8 @@ def _cmd_chaos(args) -> int:
         faults_per_schedule=args.faults,
         chain_lengths=_parse_int_list(args.lengths, "--lengths"),
         f_values=_parse_int_list(args.f_values, "--f-values"),
-        duration_s=args.duration, rate_pps=args.rate)
+        duration_s=args.duration, rate_pps=args.rate,
+        telemetry=args.telemetry)
 
     def progress(schedule):
         status = "ok" if schedule.ok else "FAIL"
@@ -181,6 +263,16 @@ def _cmd_chaos(args) -> int:
 
     result = run_soak(config, progress=progress if args.verbose else None)
     print(result.summary())
+    if args.telemetry and result.registry is not None:
+        rows = result.registry.rows()
+        if rows:
+            print()
+            print(format_table(
+                ["metric", "type", "count/value", "mean", "p50", "p99",
+                 "max"], rows, title="telemetry summary (all schedules)"))
+        events = sum(len(s.timeline) for s in result.schedules)
+        print(f"recovery timelines: {events} events across "
+              f"{len(result.schedules)} schedules")
     return 0 if result.ok else 1
 
 
@@ -197,6 +289,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "experiment":
         return _cmd_experiment(args.name)
     if args.command == "chaos":

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.packet import FlowKey, Packet
 from ..sim import Simulator
+from ..telemetry import NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage
 
@@ -33,12 +34,22 @@ class Buffer:
 
     def __init__(self, sim: Simulator, deliver: Callable[[Packet], None],
                  send_feedback: Callable[[Packet], None],
-                 costs: CostModel = DEFAULT_COSTS, name: str = "buffer"):
+                 costs: CostModel = DEFAULT_COSTS, name: str = "buffer",
+                 telemetry=None):
         self.sim = sim
         self.deliver = deliver
         self.send_feedback = send_feedback
         self.costs = costs
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_hold = registry.histogram(f"{name}/hold_time_s")
+        self._m_held = registry.gauge(f"{name}/held")
+        self._m_released = registry.counter(f"{name}/released")
+        self._m_feedback = registry.counter(f"{name}/feedback_packets")
+        #: pid -> virtual time the packet entered the held queue (only
+        #: populated while telemetry is enabled).
+        self._hold_started: Dict[int, float] = {}
         self.commit_floor: Dict[str, Dict[int, int]] = {}
         #: Floors already disseminated to the forwarder; feedback
         #: packets carry only deltas so the 10 GbE path is not wasted
@@ -93,7 +104,16 @@ class Buffer:
         else:
             self.held.append((packet, requirements))
             self.held_peak = max(self.held_peak, len(self.held))
+            if self.telemetry.enabled:
+                self._hold_started[packet.pid] = self.sim.now
+                tracer = self.telemetry.tracer
+                if tracer.wants(packet.pid):
+                    tracer.begin_async(packet.pid, "buffer-hold", "buffer",
+                                       self.sim.now,
+                                       mboxes=sorted(requirements))
         self._scan_held()
+        if self.telemetry.enabled:
+            self._m_held.set(len(self.held))
         self.cycles_spent += cycles
         return cycles
 
@@ -111,6 +131,18 @@ class Buffer:
     def _release(self, packet: Packet) -> None:
         packet.detach("ftc")
         self.released += 1
+        if self.telemetry.enabled:
+            self._m_released.inc()
+            held_since = self._hold_started.pop(packet.pid, None)
+            self._m_hold.observe(
+                0.0 if held_since is None else self.sim.now - held_since,
+                t=self.sim.now)
+            tracer = self.telemetry.tracer
+            if tracer.wants(packet.pid):
+                if held_since is not None:
+                    tracer.end_async(packet.pid, "buffer-hold", "buffer",
+                                     self.sim.now)
+                tracer.instant(packet.pid, "release", "buffer", self.sim.now)
         self.deliver(packet)
 
     def _scan_held(self) -> None:
@@ -131,6 +163,16 @@ class Buffer:
             released_prefix += 1
         if released_prefix:
             del self.held[:released_prefix]
+
+    def discard_held(self) -> int:
+        """Drop every held packet (a mid-chain failure orphaned them).
+
+        Returns how many packets were discarded.
+        """
+        dropped = len(self.held)
+        self.held.clear()
+        self._hold_started.clear()
+        return dropped
 
     # -- feedback to the forwarder ---------------------------------------------
 
@@ -159,6 +201,7 @@ class Buffer:
                     message.set_commit(CommitVector(mbox, delta))
                     sent.update(delta)
             packet.attach("ftc", message)
+            self._m_feedback.inc()
             self.send_feedback(packet)
             yield self.sim.timeout(max(
                 _FEEDBACK_MIN_INTERVAL_S,

@@ -20,6 +20,7 @@ from ..middlebox.base import Middlebox
 from ..net.packet import Packet
 from ..net.topology import Network
 from ..sim import AnyOf, RandomStreams, RateLimiter, Simulator
+from ..telemetry import NULL_TELEMETRY
 from .buffer import Buffer
 from .costs import CostModel, DEFAULT_COSTS
 from .forwarder import Forwarder
@@ -38,7 +39,8 @@ class FTCChain:
                  f: int = 1, deliver: Callable[[Packet], None] = lambda p: None,
                  costs: CostModel = DEFAULT_COSTS,
                  net: Optional[Network] = None, n_threads: int = 8,
-                 seed: int = 0, use_htm: bool = False, name: str = "ftc"):
+                 seed: int = 0, use_htm: bool = False, name: str = "ftc",
+                 telemetry=None):
         if not middleboxes:
             raise ValueError("a chain needs at least one middlebox")
         if f < 0:
@@ -55,6 +57,7 @@ class FTCChain:
         self.use_htm = use_htm
         self.streams = RandomStreams(seed)
         self.deliver = deliver
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
         self.n_mboxes = len(middleboxes)
         #: §5.1: extend short chains with pure replicas before the buffer.
@@ -62,6 +65,9 @@ class FTCChain:
 
         self.net = net or Network(sim, hop_delay_s=costs.hop_delay_s,
                                   bandwidth_bps=costs.bandwidth_bps)
+        if self.telemetry.enabled and getattr(self.net, "telemetry",
+                                              NULL_TELEMETRY) is NULL_TELEMETRY:
+            self.net.telemetry = self.telemetry
         #: Optional region per position (multi-region deployments);
         #: respawned replicas land in the failed position's region.
         self.region_plan: Optional[List[str]] = None
@@ -75,14 +81,16 @@ class FTCChain:
 
         self.forwarder = Forwarder(
             sim, inject=lambda pkt: self.replica_at(0).enqueue_local(pkt),
-            costs=costs, name=f"{name}/forwarder")
+            costs=costs, name=f"{name}/forwarder",
+            telemetry=self.telemetry)
         self._feedback_serializer = RateLimiter(
             sim, rate=1e12,
             cost_fn=lambda pkt: pkt.wire_size * 8.0 / costs.feedback_bandwidth_bps,
             name=f"{name}/feedback-link")
         self.buffer = Buffer(sim, deliver=self._deliver,
                              send_feedback=self._send_feedback,
-                             costs=costs, name=f"{name}/buffer")
+                             costs=costs, name=f"{name}/buffer",
+                             telemetry=self.telemetry)
 
         self.replicas: List[Replica] = [
             Replica(sim, self, position, self.net.servers[self.route[position]],
@@ -270,8 +278,7 @@ class FTCChain:
             self.forwarder._dirty_commits.clear()
         if position == self.n_positions - 1:
             # The buffer's held packets die with the last server.
-            self.buffer_packets_lost += len(self.buffer.held)
-            self.buffer.held.clear()
+            self.buffer_packets_lost += self.buffer.discard_held()
             self.buffer.feedback_logs.clear()
 
     # -- statistics -------------------------------------------------------------------

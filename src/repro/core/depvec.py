@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..stm.store import StateStore
+from ..telemetry.registry import NULL_COUNTER, NULL_GAUGE
 from .piggyback import CommitVector, PiggybackLog
 
 __all__ = ["DependencyVector", "ReplicationState", "ProtocolError"]
@@ -69,7 +70,7 @@ class ReplicationState:
     """One replica's replication machinery for one middlebox."""
 
     def __init__(self, mbox: str, n_partitions: int,
-                 store: Optional[StateStore] = None):
+                 store: Optional[StateStore] = None, telemetry=None):
         self.mbox = mbox
         self.n_partitions = n_partitions
         self.store = store or StateStore(mbox)
@@ -80,6 +81,19 @@ class ReplicationState:
         self.applied = 0
         self.duplicates = 0
         self.frozen = False
+        #: Telemetry instruments (shared across every replica of this
+        #: middlebox: the counters aggregate chain-wide).
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._m_applied = registry.counter(f"repl/{mbox}/logs_applied")
+            self._m_pruned = registry.counter(f"repl/{mbox}/logs_pruned")
+            self._m_duplicates = registry.counter(f"repl/{mbox}/duplicates")
+            self._m_commit_lag = registry.gauge(f"repl/{mbox}/commit_lag")
+        else:
+            self._m_applied = NULL_COUNTER
+            self._m_pruned = NULL_COUNTER
+            self._m_duplicates = NULL_COUNTER
+            self._m_commit_lag = NULL_GAUGE
 
     # -- classification -------------------------------------------------------
 
@@ -120,6 +134,7 @@ class ReplicationState:
         status = self._status(log)
         if status == "duplicate":
             self.duplicates += 1
+            self._m_duplicates.inc()
             return 0
         if status == "pending":
             log._held_at = now
@@ -137,6 +152,7 @@ class ReplicationState:
             self.max[partition] = self.max.get(partition, 0) + 1
         self.retained.append(log)
         self.applied += 1
+        self._m_applied.inc()
 
     def record_local(self, log: PiggybackLog) -> None:
         """Register a log the co-located head just originated.
@@ -155,6 +171,7 @@ class ReplicationState:
             self.max[partition] = expected + 1
         self.retained.append(log)
         self.applied += 1
+        self._m_applied.inc()
 
     def _drain_pending(self) -> int:
         applied = 0
@@ -171,6 +188,7 @@ class ReplicationState:
                 elif status == "duplicate":
                     self.pending.remove(log)
                     self.duplicates += 1
+                    self._m_duplicates.inc()
         return applied
 
     # -- commit vectors / pruning --------------------------------------------------
@@ -191,11 +209,15 @@ class ReplicationState:
                 f"commit for {commit.mbox} offered to {self.mbox}")
         commit.merge_into(self.commit_floor)
         floor = self.commit_floor
+        before = len(self.retained)
         self.retained = [
             log for log in self.retained
             if not all(seq + 1 <= floor.get(partition, 0)
                        for partition, seq in log.depvec.items())
         ]
+        if before != len(self.retained):
+            self._m_pruned.inc(before - len(self.retained))
+        self._m_commit_lag.set(len(self.retained))
 
     def unpruned_logs(self) -> List[PiggybackLog]:
         """Retained logs a successor might be missing (retransmission)."""

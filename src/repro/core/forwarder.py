@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from ..net.packet import FlowKey, Packet
 from ..sim import Simulator
+from ..telemetry import NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
 
@@ -30,11 +31,17 @@ class Forwarder:
     """Ingress element: merges fed-back state onto incoming packets."""
 
     def __init__(self, sim: Simulator, inject: Callable[[Packet], None],
-                 costs: CostModel = DEFAULT_COSTS, name: str = "forwarder"):
+                 costs: CostModel = DEFAULT_COSTS, name: str = "forwarder",
+                 telemetry=None):
         self.sim = sim
         self.inject = inject  # hands a propagating packet to replica 0
         self.costs = costs
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_attached = registry.counter(f"{name}/logs_attached")
+        self._m_pending = registry.gauge(f"{name}/pending_logs")
+        self._m_propagating = registry.counter(f"{name}/propagating_sent")
         self.pending_logs: List[PiggybackLog] = []
         self.pending_commits: Dict[str, Dict[int, int]] = {}
         self._dirty_commits: Set[str] = set()
@@ -52,6 +59,7 @@ class Forwarder:
         self.feedback_received += 1
         for logs in message.logs.values():
             self.pending_logs.extend(logs)
+        self._m_pending.set(len(self.pending_logs))
         for mbox, commit in message.commits.items():
             floor = self.pending_commits.setdefault(mbox, {})
             before = dict(floor)
@@ -67,6 +75,7 @@ class Forwarder:
         self.last_rx = self.sim.now
         cycles = self.costs.forwarder_cycles
         if self.pending_logs:
+            self._m_attached.inc(len(self.pending_logs))
             for log in self.pending_logs:
                 cycles += (self.costs.piggyback_attach_cycles +
                            self.costs.per_state_byte_cycles *
@@ -74,6 +83,7 @@ class Forwarder:
                                for v in log.updates.values()))
                 message.add_log(log)
             self.pending_logs = []
+        self._m_pending.set(0)
         for mbox in self._dirty_commits:
             message.set_commit(CommitVector(mbox, dict(self.pending_commits[mbox])))
         self._dirty_commits.clear()
@@ -106,4 +116,5 @@ class Forwarder:
         self.attach(message)
         packet.attach("ftc", message)
         self.propagating_sent += 1
+        self._m_propagating.inc()
         self.inject(packet)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from ..middlebox.base import DROP, Middlebox
 from ..net.packet import Packet
 from ..sim import CancelledError, Interrupt, Process, RandomStreams, Simulator
+from ..telemetry import NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .depvec import ReplicationState
 from .piggyback import PiggybackMessage, value_bytes
@@ -56,6 +57,9 @@ class Replica:
         self.middlebox = middlebox
         self.costs = costs
         self.streams = streams or RandomStreams(0)
+        self.telemetry = getattr(chain, "telemetry", None) or NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_pb_bytes = registry.histogram("piggyback/bytes")
 
         #: mbox name -> replication state, for every group this position
         #: belongs to (including its own middlebox's).
@@ -66,8 +70,10 @@ class Replica:
         #: mboxes replicated here that originate upstream (chain order).
         self.replicated: List[str] = []
 
+        telemetry = self.telemetry if self.telemetry.enabled else None
         for index, name in chain.member_mboxes(position):
-            state = ReplicationState(name, costs.n_partitions)
+            state = ReplicationState(name, costs.n_partitions,
+                                     telemetry=telemetry)
             self.states[name] = state
             if chain.tail_position(index) == position:
                 self.tail_last_sent[name] = {}
@@ -78,7 +84,8 @@ class Replica:
         if middlebox is not None:
             self.runtime = MiddleboxRuntime(
                 sim, middlebox, self.states[middlebox.name],
-                costs=costs, streams=self.streams, use_htm=use_htm)
+                costs=costs, streams=self.streams, use_htm=use_htm,
+                telemetry=self.telemetry)
 
         self.workers: List[Process] = []
         self._watchdog: Optional[Process] = None
@@ -134,6 +141,9 @@ class Replica:
 
     def _handle(self, packet: Packet, thread_id: int):
         self.packets_handled += 1
+        tracer = self.telemetry.tracer
+        traced = packet.is_data and tracer.wants(packet.pid)
+        entered = self.sim.now
         cycles = self.costs.per_wire_byte_cycles * packet.wire_size
         message = packet.detach("ftc")
         if message is None:
@@ -162,11 +172,18 @@ class Replica:
                     message.set_commit(commit)
                     self.tail_last_sent[own] = dict(state.max)
             if verdict is DROP:
+                if traced:
+                    self._close_span(packet, entered, dropped=True)
                 self._emit_propagating(message)
                 return
             if isinstance(verdict, Packet):
                 out_packet = verdict
 
+        if self.telemetry.enabled:
+            self._m_pb_bytes.observe(float(message.byte_size()),
+                                     t=self.sim.now)
+        if traced:
+            self._close_span(packet, entered)
         if message.byte_size() > out_packet.size:
             # The piggyback message no longer fits the packet buffer's
             # tailroom: extend/chain the buffer before forwarding.
@@ -174,9 +191,19 @@ class Replica:
                 self.costs.mbuf_extension_cycles))
         yield from self._forward(out_packet, message)
 
+    def _close_span(self, packet: Packet, entered: float,
+                    dropped: bool = False) -> None:
+        """Emit the per-position middlebox span for a sampled packet."""
+        name = self.middlebox.name if self.middlebox is not None else "relay"
+        self.telemetry.tracer.complete(
+            packet.pid, f"p{self.position}:{name}", "mbox",
+            entered, self.sim.now, tid=self.position, dropped=dropped)
+
     def _process_piggyback(self, message: PiggybackMessage) -> float:
         """Apply carried logs; strip + commit where we are the tail."""
         cycles = 0.0
+        trace_enabled = self.telemetry.enabled
+        tracer = self.telemetry.tracer
         for mbox in self.replicated:
             logs = message.logs_for(mbox)
             if logs:
@@ -187,6 +214,12 @@ class Replica:
                                sum(value_bytes(v, self.costs)
                                    for v in log.updates.values()))
                     state.offer(log, now=self.sim.now)
+                    if (trace_enabled and log.packet_id is not None
+                            and tracer.wants(log.packet_id)):
+                        tracer.instant(log.packet_id,
+                                       f"replicate@p{self.position}", "repl",
+                                       self.sim.now, tid=self.position,
+                                       mbox=mbox)
             if mbox in self.tail_last_sent:
                 message.take_logs(mbox)
                 state = self.states[mbox]

@@ -16,6 +16,7 @@ from ..net.packet import Packet
 from ..sim import RandomStreams, Simulator
 from ..stm.partition import PartitionSpace
 from ..stm.transaction import TransactionContext, TransactionManager
+from ..telemetry import NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .depvec import DependencyVector, ReplicationState
 from .piggyback import PiggybackLog, value_bytes
@@ -52,13 +53,14 @@ class MiddleboxRuntime:
                  streams: Optional[RandomStreams] = None,
                  replicate: bool = True,
                  extra_critical_cycles: float = 0.0,
-                 use_htm: bool = False):
+                 use_htm: bool = False, telemetry=None):
         self.sim = sim
         self.middlebox = middlebox
         self.state = own_state
         self.costs = costs
         self.streams = streams or RandomStreams(0)
         self.replicate = replicate
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Extra work inside the critical section (FTMB charges its
         #: in-lock PAL logging here; zero for FTC and NF).
         self.extra_critical_cycles = extra_critical_cycles
@@ -71,7 +73,7 @@ class MiddleboxRuntime:
             name=f"stm/{middlebox.name}",
             handoff_delay_s=costs.cycles_to_seconds(costs.lock_wakeup_cycles),
             spin_threshold=costs.lock_spin_threshold,
-            htm=use_htm)
+            htm=use_htm, telemetry=self.telemetry)
         self.depvec = DependencyVector(costs.n_partitions)
         self.counters = CycleCounters()
         self.transactions = 0
@@ -150,8 +152,11 @@ class MiddleboxRuntime:
             self.state.record_local(log)
             return log
 
+        trace_pid = (packet.pid
+                     if self.telemetry.tracer.wants(packet.pid) else None)
         result = yield from self.manager.run(
             body, hold_time=hold, flow=packet.flow, thread_id=thread_id,
+            trace_pid=trace_pid,
             on_commit=on_commit, commit_hold_fn=commit_hold_fn,
             lock_overhead_s=self.costs.cycles_to_seconds(locking),
             htm_overhead_s=self.costs.cycles_to_seconds(

@@ -21,6 +21,7 @@ from ..middlebox import ch_rec
 from ..net import TrafficGenerator, balanced_flows
 from ..orchestration import CloudNetwork, Orchestrator, place_chain
 from ..sim import Simulator
+from ..telemetry import Telemetry
 from .runner import ExperimentResult, quick_mode
 
 #: Chain placement: Firewall with the orchestrator ("core"), Monitor
@@ -34,8 +35,11 @@ def _one_trial(position: int, seed: int) -> Dict[str, float]:
     net = CloudNetwork(sim, hop_delay_s=DEFAULT_COSTS.hop_delay_s,
                        bandwidth_bps=DEFAULT_COSTS.bandwidth_bps, seed=seed)
     egress = EgressRecorder(sim)
+    # Sampling 0 packets: fig13 wants the recovery timeline, not spans.
+    telemetry = Telemetry(max_trace_events=0)
     chain = FTCChain(sim, ch_rec(n_threads=2), f=1, deliver=egress,
-                     costs=DEFAULT_COSTS, net=net, n_threads=2, seed=seed)
+                     costs=DEFAULT_COSTS, net=net, n_threads=2, seed=seed,
+                     telemetry=telemetry)
     place_chain(chain, REGIONS)
     chain.start()
     orchestrator = Orchestrator(sim, chain, region="core")
@@ -46,10 +50,18 @@ def _one_trial(position: int, seed: int) -> Dict[str, float]:
     sim.schedule_callback(0.01, lambda: chain.fail_position(position))
     sim.run(until=0.55)
     event = orchestrator.history[0]
+    # The figure's phase durations come from the stitched recovery
+    # timeline; they are exactly the report's (same subtractions at the
+    # same instants), and the cross-check enforces that.
+    attempt = telemetry.timeline.committed_attempts()[0]
+    if abs(attempt.total_s - event.report.total_s) > 1e-12:
+        raise AssertionError(
+            f"timeline total {attempt.total_s} != report "
+            f"{event.report.total_s}")
     return {
-        "initialization": event.report.initialization_s,
-        "state_recovery": event.report.state_recovery_s,
-        "total": event.report.total_s,
+        "initialization": attempt.phases["initialization"],
+        "state_recovery": attempt.phases["state_recovery"],
+        "total": attempt.total_s,
         "detection": event.detection_delay_s,
         "retries": float(event.report.control_retries +
                          orchestrator.control_retries),

@@ -18,15 +18,22 @@ SYSTEMS = ["NF", "FTC", "FTMB", "FTMB+Snapshot"]
 
 def build_system(kind: str, sim: Simulator, middleboxes: Sequence[Middlebox],
                  deliver: Callable, costs: CostModel = DEFAULT_COSTS,
-                 n_threads: int = 8, f: int = 1, seed: int = 0, net=None):
-    """Instantiate one of the compared systems over a middlebox list."""
+                 n_threads: int = 8, f: int = 1, seed: int = 0, net=None,
+                 telemetry=None):
+    """Instantiate one of the compared systems over a middlebox list.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is honoured by
+    the FTC chain; the baselines ignore it (they carry no piggyback or
+    replication machinery worth instrumenting).
+    """
     normalized = kind.lower()
     if normalized == "nf":
         return NFChain(sim, middleboxes, deliver=deliver, costs=costs,
                        n_threads=n_threads, seed=seed, net=net)
     if normalized == "ftc":
         return FTCChain(sim, middleboxes, f=f, deliver=deliver, costs=costs,
-                        n_threads=n_threads, seed=seed, net=net)
+                        n_threads=n_threads, seed=seed, net=net,
+                        telemetry=telemetry)
     if normalized == "ftmb":
         return FTMBChain(sim, middleboxes, deliver=deliver, costs=costs,
                          n_threads=n_threads, seed=seed, net=net)

@@ -39,6 +39,9 @@ class ThroughputMeter:
         self._window_start = self.sim.now
         self.count = 0
         self.bytes = 0
+        # Stale marks would make interval_rates_pps() span the warm-up
+        # boundary (and go negative once count resets).
+        self._marks.clear()
 
     def mark(self) -> None:
         """Record an intermediate (time, count) sample."""
@@ -95,12 +98,20 @@ class LatencySampler:
         return len(self.samples)
 
     def mean_us(self) -> float:
+        """Mean latency in µs; NaN when no samples survived warm-up."""
+        if not self.samples:
+            return float("nan")
         return mean(self.samples) * 1e6
 
     def percentile_us(self, q: float) -> float:
+        """Percentile latency in µs; NaN when no samples survived warm-up."""
+        if not self.samples:
+            return float("nan")
         return percentile(self.samples, q) * 1e6
 
     def cdf_us(self, n_points: int = 100):
+        if not self.samples:
+            return []
         return [(v * 1e6, frac) for v, frac in cdf_points(self.samples, n_points)]
 
 

@@ -49,10 +49,14 @@ def cdf_points(samples: Sequence[float],
     """(value, cumulative fraction) pairs for plotting a CDF."""
     if not samples:
         raise ValueError("cdf of empty sample set")
+    if n_points < 1:
+        raise ValueError(f"cdf needs n_points >= 1, got {n_points}")
     ordered = sorted(samples)
     total = len(ordered)
     if n_points >= total:
         return [(value, (i + 1) / total) for i, value in enumerate(ordered)]
+    if n_points == 1:
+        return [(ordered[-1], 1.0)]
     points = []
     for j in range(n_points):
         idx = round(j * (total - 1) / (n_points - 1))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Simulator
+from ..telemetry import NULL_TELEMETRY
 from .link import Link
 from .nic import DEFAULT_NIC_PPS, NIC
 from .packet import Packet
@@ -108,6 +109,9 @@ class Network:
         self.control_messages = 0
         self.control_drops = 0
         self.control_dups = 0
+        #: Set by the chain (or a test) to mirror control-plane counters
+        #: into a metric registry; NULL_TELEMETRY keeps hooks no-op.
+        self.telemetry = NULL_TELEMETRY
 
     # -- construction --------------------------------------------------------
 
@@ -219,9 +223,11 @@ class Network:
         if imp.drop_rate and rng.random() < imp.drop_rate:
             copies = 0
             self.control_drops += 1
+            self.telemetry.registry.counter("net/control_drops").inc()
         elif imp.dup_rate and rng.random() < imp.dup_rate:
             copies = 2
             self.control_dups += 1
+            self.telemetry.registry.counter("net/control_dups").inc()
         extra = imp.extra_delay_s
         if imp.delay_jitter_s:
             extra += rng.uniform(0.0, imp.delay_jitter_s)
@@ -244,6 +250,7 @@ class Network:
         transfer = ((payload_bytes + response_bytes) * 8.0 /
                     self.control_bandwidth_bps)
         self.control_messages += 1
+        self.telemetry.registry.counter("net/control_messages").inc()
 
         def at_destination():
             if self.servers[dst].failed:

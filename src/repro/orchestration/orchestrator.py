@@ -36,6 +36,7 @@ from ..core.recovery import (
 )
 from ..net.retry import RetryPolicy, reliable_call
 from ..sim import CancelledError, Interrupt, Simulator
+from ..telemetry import NULL_TELEMETRY
 
 __all__ = ["Orchestrator", "FailureEvent"]
 
@@ -80,13 +81,28 @@ class Orchestrator:
                  heartbeat_retry: Optional[RetryPolicy] = None,
                  recovery_retry: Optional[RetryPolicy] = None,
                  max_recovery_attempts: int = 20,
-                 name: str = "orchestrator"):
+                 name: str = "orchestrator", telemetry=None):
         self.sim = sim
         self.chain = chain
         self.heartbeat_interval_s = heartbeat_interval_s
         self.misses_allowed = misses_allowed
         self.region = region
         self.name = name
+        #: Defaults to the chain's telemetry so one bundle stitches the
+        #: data plane and the control plane together.
+        self.telemetry = (telemetry if telemetry is not None
+                          else getattr(chain, "telemetry", NULL_TELEMETRY))
+        registry = self.telemetry.registry
+        self._m_detection = registry.histogram("orch/detection_delay_s")
+        self._m_total = registry.histogram("orch/recovery_total_s")
+        self._m_phase = {
+            "initialization": registry.histogram("orch/phase_initialization_s"),
+            "state_recovery": registry.histogram("orch/phase_state_recovery_s"),
+            "rerouting": registry.histogram("orch/phase_rerouting_s"),
+        }
+        self._m_failures = registry.counter("orch/failures_detected")
+        self._m_recoveries = registry.counter("orch/recoveries")
+        self._m_abandoned = registry.counter("orch/abandoned")
         #: Two quick probes per round, fitting the classic 0.8*interval
         #: budget; no jitter so detection-delay bounds stay deterministic.
         self.heartbeat_retry = heartbeat_retry or RetryPolicy(
@@ -175,6 +191,9 @@ class Orchestrator:
             self._last_seen_alive[position] = self.sim.now
         else:
             self._misses[position] = self._misses.get(position, 0) + 1
+            if self._misses[position] == 1:
+                self.telemetry.timeline.record("suspected", [position],
+                                               t=self.sim.now)
 
     def _monitor_loop(self):
         for position in range(self.chain.n_positions):
@@ -207,6 +226,9 @@ class Orchestrator:
         event = FailureEvent(positions=list(positions),
                              detected_at=self.sim.now,
                              detection_delay_s=detection_delay)
+        self._m_failures.inc()
+        self._m_detection.observe(detection_delay, t=self.sim.now)
+        self.telemetry.timeline.record("confirmed", positions, t=self.sim.now)
         self.history.append(event)
         self._open_events.append(event)
         self._recovering_positions |= set(positions)
@@ -219,6 +241,7 @@ class Orchestrator:
                 self._recover_loop(), name=f"{self.name}/recovery")
 
     def _fire_recovery_hooks(self, phase: str, positions: List[int]) -> None:
+        self.telemetry.timeline.record(phase, positions, t=self.sim.now)
         for hook in list(self.recovery_hooks):
             hook(phase, positions)
 
@@ -271,6 +294,14 @@ class Orchestrator:
                     self._misses[position] = 0
                     self._last_seen_alive[position] = self.sim.now
                 self._recovering_positions -= set(positions)
+                self._m_recoveries.inc()
+                self._m_total.observe(report.total_s, t=self.sim.now)
+                self._m_phase["initialization"].observe(
+                    report.initialization_s, t=self.sim.now)
+                self._m_phase["state_recovery"].observe(
+                    report.state_recovery_s, t=self.sim.now)
+                self._m_phase["rerouting"].observe(
+                    report.rerouting_s, t=self.sim.now)
                 if not self._recovering_positions:
                     for event in self._open_events:
                         event.report = report
@@ -306,6 +337,9 @@ class Orchestrator:
 
     def _abandon(self, positions: List[int], exc: Exception) -> None:
         """Degrade gracefully: >f members of some group are gone."""
+        self._m_abandoned.inc()
+        self.telemetry.timeline.record("abandoned", positions,
+                                       detail=str(exc), t=self.sim.now)
         self.chain.degraded = True
         self.chain.degraded_reason = str(exc)
         for event in self._open_events:

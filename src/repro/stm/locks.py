@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 from ..sim import CancelledError, Simulator
 from ..sim.resources import _Waiter
+from ..telemetry.registry import NULL_COUNTER, NULL_HISTOGRAM
 
 __all__ = ["PartitionLock", "TransactionWounded", "LockStats"]
 
@@ -56,12 +57,18 @@ class PartitionLock:
     _tiebreak = itertools.count()
 
     def __init__(self, sim: Simulator, index: int, stats: Optional[LockStats] = None,
-                 handoff_delay_s: float = 0.0, spin_threshold: int = 2):
+                 handoff_delay_s: float = 0.0, spin_threshold: int = 2,
+                 wait_hist=None, wound_counter=None):
         self.sim = sim
         self.index = index
         self.owner = None  # the Transaction currently holding the lock
         self._waiters: List[Tuple[float, int, _Waiter, object]] = []
         self.stats = stats if stats is not None else LockStats()
+        #: Telemetry instruments (no-op singletons unless a manager with
+        #: an enabled registry created this lock).
+        self.wait_hist = wait_hist if wait_hist is not None else NULL_HISTOGRAM
+        self.wound_counter = (wound_counter if wound_counter is not None
+                              else NULL_COUNTER)
         #: Wakeup latency exposed when handing the lock to a waiter
         #: under light contention.  With a crowd of spinners
         #: (>= spin_threshold still queued) the next owner is already
@@ -107,6 +114,7 @@ class PartitionLock:
         if owner is not None and tx.timestamp < owner.timestamp and owner.woundable:
             owner.wound()
             self.stats.wounds += 1
+            self.wound_counter.inc()
         waiter = _Waiter(self.sim, self)
         heapq.heappush(self._waiters,
                        (tx.timestamp, next(self._tiebreak), waiter, tx))
@@ -119,6 +127,7 @@ class PartitionLock:
         finally:
             tx.pending_wait = None
             self.stats.wait_time += self.sim.now - wait_started
+            self.wait_hist.observe(self.sim.now - wait_started, t=self.sim.now)
         if tx.wounded:
             # Granted but wounded in the same instant: hand the lock on.
             self._release_internal(tx)

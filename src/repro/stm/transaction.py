@@ -27,6 +27,7 @@ import itertools
 from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Set
 
 from ..sim import Simulator
+from ..telemetry import NULL_TELEMETRY
 from .locks import LockStats, PartitionLock, TransactionWounded
 from .partition import PartitionSpace
 from .store import StateStore, TOMBSTONE
@@ -172,7 +173,7 @@ class TransactionManager:
                  partitions: Optional[PartitionSpace] = None,
                  acquire_order: str = "sorted", name: str = "stm",
                  handoff_delay_s: float = 0.0, spin_threshold: int = 2,
-                 htm: bool = False):
+                 htm: bool = False, telemetry=None):
         if acquire_order not in ("sorted", "declared"):
             raise ValueError(f"unknown acquire order {acquire_order!r}")
         self.sim = sim
@@ -181,9 +182,17 @@ class TransactionManager:
         self.acquire_order = acquire_order
         self.name = name
         self.lock_stats = LockStats()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_commits = registry.counter(f"{name}/commits")
+        self._m_retries = registry.counter(f"{name}/retries")
+        wait_hist = registry.histogram(f"{name}/lock_wait_s")
+        wound_counter = registry.counter(f"{name}/wounds")
         self.locks = [PartitionLock(sim, i, self.lock_stats,
                                     handoff_delay_s=handoff_delay_s,
-                                    spin_threshold=spin_threshold)
+                                    spin_threshold=spin_threshold,
+                                    wait_hist=wait_hist,
+                                    wound_counter=wound_counter)
                       for i in range(self.partitions.n_partitions)]
         #: Hybrid transactional memory (§3.2): uncontended transactions
         #: elide the lock protocol and pay a cheaper commit.
@@ -199,7 +208,8 @@ class TransactionManager:
             extras: Optional[Dict[str, Any]] = None,
             on_commit: Optional[Callable[[TransactionContext, FrozenSet[int]], Any]] = None,
             commit_hold_fn: Optional[Callable[[TransactionContext], float]] = None,
-            lock_overhead_s: float = 0.0, htm_overhead_s: float = 0.0):
+            lock_overhead_s: float = 0.0, htm_overhead_s: float = 0.0,
+            trace_pid: Optional[int] = None):
         """Generator: execute ``body`` transactionally.
 
         Yields simulation events while waiting for locks and during the
@@ -216,7 +226,12 @@ class TransactionManager:
         inside the critical section after execution -- FTC charges the
         piggyback-log construction there, since the log must be built
         before the locks release (§4.2).
+
+        ``trace_pid`` enables span recording for this transaction: the
+        caller passes the packet id when the tracer sampled it, None
+        otherwise (the common, zero-overhead case).
         """
+        tracer = self.telemetry.tracer if trace_pid is not None else None
         tx = Transaction(next(self._timestamps))
         started = self.sim.now
         needed: Set[int] = set()
@@ -233,6 +248,7 @@ class TransactionManager:
                     else self._declared_order(probe, needed)
 
                 used_htm = False
+                acquire_started = self.sim.now
                 if self.htm:
                     used_htm = self._htm_try(tx, order)
                 if used_htm:
@@ -246,6 +262,12 @@ class TransactionManager:
                     if tx.wounded:
                         raise TransactionWounded()
                 tx.phase = "holding"
+                if tracer is not None and self.sim.now > acquire_started:
+                    tracer.complete(trace_pid, "lock-acquire", "stm",
+                                    acquire_started, self.sim.now,
+                                    tid=thread_id, mbox=self.name,
+                                    partitions=sorted(needed))
+                hold_started = self.sim.now
 
                 total_hold = hold_time + (htm_overhead_s if used_htm
                                           else lock_overhead_s)
@@ -277,6 +299,14 @@ class TransactionManager:
                 tx.release_all()
                 self.committed += 1
                 self.total_retries += tx.retries
+                self._m_commits.inc()
+                if tx.retries:
+                    self._m_retries.inc(tx.retries)
+                if tracer is not None:
+                    tracer.complete(trace_pid, "critical-section", "stm",
+                                    hold_started, self.sim.now,
+                                    tid=thread_id, mbox=self.name,
+                                    retries=tx.retries, htm=used_htm)
                 return TransactionResult(
                     writes=dict(live.writes),
                     read_keys=set(live.reads),
@@ -291,6 +321,9 @@ class TransactionManager:
             except TransactionWounded:
                 tx.retries += 1
                 tx.release_all()
+                if tracer is not None:
+                    tracer.instant(trace_pid, "wounded", "stm", self.sim.now,
+                                   tid=thread_id, mbox=self.name)
                 # Immediately re-execute (same timestamp: no starvation).
                 continue
         raise RuntimeError(

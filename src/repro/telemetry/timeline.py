@@ -1,0 +1,196 @@
+"""Recovery timelines: chaos + orchestrator events, stitched.
+
+A :class:`RecoveryTimeline` accumulates the structured event stream a
+failure produces -- ``fault-injected`` (chaos monkey), ``suspected``
+(first missed heartbeat), ``confirmed`` (detection), then the §5.2
+recovery phase hooks (``initializing``, ``spawned``, ``fetching``,
+``fetched``, ``rerouting``, ``committed``) -- and parses it back into
+:class:`TimelineAttempt` records whose per-phase durations sum exactly
+to the Fig 13 recovery time:
+
+* ``initialization`` = spawned − initializing
+* ``state_recovery`` = fetched − fetching
+* ``rerouting``      = committed − rerouting
+
+``recover_positions`` fires each pair back-to-back with no simulated
+time in between, so the three durations partition the attempt span;
+the soak auditor checks that invariant against every
+:class:`~repro.core.recovery.RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TimelineEvent", "TimelineAttempt", "RecoveryTimeline",
+           "NULL_TIMELINE", "NullTimeline", "TIMELINE_EVENT_KINDS"]
+
+#: Every event kind a timeline may carry, in typical firing order.
+TIMELINE_EVENT_KINDS = (
+    "fault-injected", "suspected", "confirmed",
+    "initializing", "spawned", "fetching", "fetched",
+    "rerouting", "committed", "abandoned",
+)
+
+#: The per-phase duration names of one attempt (Fig 13's columns).
+PHASE_NAMES = ("initialization", "state_recovery", "rerouting")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One instant on the recovery timeline."""
+
+    t: float
+    kind: str
+    positions: Tuple[int, ...] = ()
+    detail: str = ""
+
+    def __str__(self):
+        where = f" p{list(self.positions)}" if self.positions else ""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[{self.t * 1e3:.3f}ms] {self.kind}{where}{extra}"
+
+
+@dataclass
+class TimelineAttempt:
+    """One pass through ``recover_positions``, parsed from events."""
+
+    positions: Tuple[int, ...]
+    started_at: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    committed: bool = False
+    ended_at: Optional[float] = None
+
+    @property
+    def total_s(self) -> float:
+        """Sum of the per-phase durations (== RecoveryReport.total_s)."""
+        return sum(self.phases.values())
+
+    @property
+    def span_s(self) -> Optional[float]:
+        """Wall span initializing -> committed (None while in flight)."""
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+
+class RecoveryTimeline:
+    """Append-only event log + attempt parser."""
+
+    def __init__(self):
+        self.events: List[TimelineEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, kind: str, positions: Sequence[int] = (),
+               detail: str = "", t: float = 0.0) -> None:
+        if kind not in TIMELINE_EVENT_KINDS:
+            raise ValueError(f"unknown timeline event kind {kind!r}")
+        self.events.append(TimelineEvent(t=t, kind=kind,
+                                         positions=tuple(positions),
+                                         detail=detail))
+
+    # -- parsing ---------------------------------------------------------------
+
+    def attempts(self) -> List[TimelineAttempt]:
+        """Recovery attempts in order; aborted ones have committed=False."""
+        attempts: List[TimelineAttempt] = []
+        current: Optional[TimelineAttempt] = None
+        marks: Dict[str, float] = {}
+        for event in self.events:
+            if event.kind == "initializing":
+                current = TimelineAttempt(positions=event.positions,
+                                          started_at=event.t)
+                attempts.append(current)
+                marks = {"initializing": event.t}
+            elif current is None:
+                continue
+            elif event.kind == "spawned":
+                current.phases["initialization"] = \
+                    event.t - marks.get("initializing", event.t)
+            elif event.kind == "fetching":
+                marks["fetching"] = event.t
+            elif event.kind == "fetched":
+                current.phases["state_recovery"] = \
+                    event.t - marks.get("fetching", event.t)
+            elif event.kind == "rerouting":
+                marks["rerouting"] = event.t
+            elif event.kind == "committed":
+                current.phases["rerouting"] = \
+                    event.t - marks.get("rerouting", event.t)
+                current.committed = True
+                current.ended_at = event.t
+                current = None
+        return attempts
+
+    def committed_attempts(self) -> List[TimelineAttempt]:
+        return [a for a in self.attempts() if a.committed]
+
+    # -- export / rendering ------------------------------------------------------
+
+    def as_dicts(self) -> List[Dict]:
+        """JSON-friendly structured report (fig13 / soak consumption)."""
+        return [{"t_s": e.t, "kind": e.kind, "positions": list(e.positions),
+                 "detail": e.detail} for e in self.events]
+
+    def chrome_events(self, tid: int = 9_999) -> List[Dict]:
+        """The timeline as instant events for the Chrome trace export."""
+        return [{"name": e.kind, "cat": "recovery", "ph": "i",
+                 "ts": e.t * 1e6, "pid": 0, "tid": tid, "s": "g",
+                 "args": {"positions": list(e.positions),
+                          "detail": e.detail}}
+                for e in self.events]
+
+    def render(self) -> str:
+        """An aligned text report of events + per-attempt durations."""
+        from ..metrics.reporting import format_table
+        rows = [(f"{e.t * 1e3:.3f}", e.kind,
+                 ",".join(str(p) for p in e.positions) or "-",
+                 e.detail or "-") for e in self.events]
+        text = format_table(["t (ms)", "event", "positions", "detail"], rows,
+                            title="recovery timeline")
+        lines = [text]
+        for i, attempt in enumerate(self.attempts()):
+            status = "committed" if attempt.committed else "aborted"
+            phases = "  ".join(
+                f"{name}={attempt.phases.get(name, 0.0) * 1e3:.3f}ms"
+                for name in PHASE_NAMES)
+            lines.append(f"attempt {i} p{list(attempt.positions)} {status}: "
+                         f"{phases}  total={attempt.total_s * 1e3:.3f}ms")
+        return "\n".join(lines)
+
+
+class NullTimeline:
+    """Telemetry-disabled timeline: records nothing."""
+
+    __slots__ = ()
+    events: List[TimelineEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, kind: str, positions: Sequence[int] = (),
+               detail: str = "", t: float = 0.0) -> None:
+        pass
+
+    def attempts(self) -> List[TimelineAttempt]:
+        return []
+
+    def committed_attempts(self) -> List[TimelineAttempt]:
+        return []
+
+    def as_dicts(self) -> List[Dict]:
+        return []
+
+    def chrome_events(self, tid: int = 9_999) -> List[Dict]:
+        return []
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_TIMELINE = NullTimeline()

@@ -222,3 +222,82 @@ class TestFormatting:
     def test_format_series_length_mismatch(self):
         with pytest.raises(ValueError):
             format_series("s", [1], [1, 2])
+
+
+class TestWarmupWindowReset:
+    """start_window must forget *everything* about warm-up traffic."""
+
+    def _fed_meter(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim)
+
+        def feed(sim):
+            meter.mark()
+            for _ in range(40):
+                meter.record(_pkt(size=1500))
+            yield sim.timeout(1e-3)
+            meter.mark()
+            meter.start_window()
+            meter.mark()
+            for _ in range(10):
+                meter.record(_pkt(size=100))
+            yield sim.timeout(1e-3)
+            meter.mark()
+
+        sim.process(feed(sim))
+        sim.run()
+        return meter
+
+    def test_bytes_reset(self):
+        meter = self._fed_meter()
+        assert meter.bytes == 10 * 100
+        assert meter.rate_gbps() == pytest.approx(
+            10 * 100 * 8 / 1e-3 / 1e9)
+
+    def test_marks_cleared(self):
+        meter = self._fed_meter()
+        rates = meter.interval_rates_pps()
+        # Only the post-window interval survives; a stale pre-window
+        # mark would yield a bogus (here negative) warm-up rate.
+        assert len(rates) == 1
+        assert rates[0] == pytest.approx(10e3)
+        assert all(r >= 0 for r in rates)
+
+
+class TestPercentileEdges:
+    def test_single_sample_any_q(self):
+        for q in (0, 37.5, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_q0_and_q100_are_extremes(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+
+class TestCdfEdges:
+    def test_n_points_one(self):
+        points = cdf_points(list(range(10)), n_points=1)
+        assert points == [(9, 1.0)]
+
+    def test_n_points_zero_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([1.0, 2.0], n_points=0)
+
+    def test_single_sample(self):
+        assert cdf_points([7.0], n_points=5) == [(7.0, 1.0)]
+
+
+class TestEmptySamplerGuards:
+    def test_mean_and_percentile_nan(self):
+        import math
+
+        sim = Simulator()
+        sampler = LatencySampler(sim)
+        assert math.isnan(sampler.mean_us())
+        assert math.isnan(sampler.percentile_us(99))
+
+    def test_cdf_empty(self):
+        sim = Simulator()
+        sampler = LatencySampler(sim)
+        assert sampler.cdf_us() == []

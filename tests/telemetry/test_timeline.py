@@ -1,0 +1,94 @@
+"""Tests for recovery timeline stitching and attempt parsing."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TIMELINE,
+    RecoveryTimeline,
+    validate_chrome_trace,
+)
+
+
+def _record_attempt(timeline, t0=0.0, positions=(1,)):
+    timeline.record("initializing", positions, t=t0)
+    timeline.record("spawned", positions, t=t0 + 1e-3)
+    timeline.record("fetching", positions, t=t0 + 1e-3)
+    timeline.record("fetched", positions, t=t0 + 3e-3)
+    timeline.record("rerouting", positions, t=t0 + 3e-3)
+    timeline.record("committed", positions, t=t0 + 3.5e-3)
+
+
+class TestRecording:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryTimeline().record("exploded")
+
+    def test_event_str(self):
+        timeline = RecoveryTimeline()
+        timeline.record("fault-injected", [2], detail="crash", t=1e-3)
+        text = str(timeline.events[0])
+        assert "fault-injected" in text and "crash" in text
+
+
+class TestAttemptParsing:
+    def test_phase_durations(self):
+        timeline = RecoveryTimeline()
+        timeline.record("fault-injected", [1], t=-1e-3)
+        timeline.record("suspected", [1], t=-0.5e-3)
+        timeline.record("confirmed", [1], t=-0.1e-3)
+        _record_attempt(timeline)
+        (attempt,) = timeline.committed_attempts()
+        assert attempt.positions == (1,)
+        assert attempt.phases["initialization"] == pytest.approx(1e-3)
+        assert attempt.phases["state_recovery"] == pytest.approx(2e-3)
+        assert attempt.phases["rerouting"] == pytest.approx(0.5e-3)
+        assert attempt.total_s == pytest.approx(3.5e-3)
+        assert attempt.span_s == pytest.approx(3.5e-3)
+
+    def test_aborted_attempt_not_committed(self):
+        timeline = RecoveryTimeline()
+        timeline.record("initializing", [0], t=0.0)
+        timeline.record("spawned", [0], t=1e-3)
+        timeline.record("abandoned", [0], detail="gave up", t=2e-3)
+        attempts = timeline.attempts()
+        assert len(attempts) == 1
+        assert not attempts[0].committed
+        assert attempts[0].span_s is None
+        assert timeline.committed_attempts() == []
+
+    def test_multiple_attempts(self):
+        timeline = RecoveryTimeline()
+        _record_attempt(timeline, t0=0.0, positions=(0,))
+        _record_attempt(timeline, t0=0.01, positions=(2,))
+        attempts = timeline.committed_attempts()
+        assert [a.positions for a in attempts] == [(0,), (2,)]
+
+
+class TestExport:
+    def test_as_dicts(self):
+        timeline = RecoveryTimeline()
+        timeline.record("confirmed", [1], detail="x", t=2e-3)
+        (event,) = timeline.as_dicts()
+        assert event == {"t_s": 2e-3, "kind": "confirmed",
+                         "positions": [1], "detail": "x"}
+
+    def test_chrome_events_valid(self):
+        timeline = RecoveryTimeline()
+        _record_attempt(timeline)
+        trace = {"traceEvents": timeline.chrome_events()}
+        assert validate_chrome_trace(trace) == []
+
+    def test_render(self):
+        timeline = RecoveryTimeline()
+        _record_attempt(timeline)
+        text = timeline.render()
+        assert "recovery timeline" in text
+        assert "committed" in text
+        assert "total=3.500ms" in text
+
+    def test_null_timeline(self):
+        assert not NULL_TIMELINE.enabled
+        NULL_TIMELINE.record("committed", [0], t=1.0)
+        assert NULL_TIMELINE.events == []
+        assert NULL_TIMELINE.attempts() == []
+        assert NULL_TIMELINE.render() == ""
