@@ -15,11 +15,18 @@ Three layers (see PROTOCOL.md, "Failure model & chaos testing"):
 
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
 from .monkey import ChaosMonkey, DEFAULT_KIND_WEIGHTS
-from .plan import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .plan import (
+    FAULT_KINDS,
+    IMPAIRED_DELIVERY,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 from .soak import (
     ScheduleResult,
     SoakConfig,
     SoakResult,
+    run_impaired_schedule,
     run_schedule,
     run_soak,
 )
@@ -28,6 +35,7 @@ __all__ = [
     "ChaosMonkey",
     "DEFAULT_KIND_WEIGHTS",
     "FAULT_KINDS",
+    "IMPAIRED_DELIVERY",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -37,6 +45,7 @@ __all__ = [
     "ShadowOracle",
     "SoakConfig",
     "SoakResult",
+    "run_impaired_schedule",
     "run_schedule",
     "run_soak",
 ]

@@ -31,11 +31,11 @@ legitimately in flux) and a chain that has declared degraded mode
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core.chain import FTCChain
 from ..middlebox.monitor import Monitor
-from ..net.packet import Packet
+from ..net.packet import FlowKey, Packet
 
 __all__ = ["InvariantViolation", "ShadowOracle", "InvariantAuditor"]
 
@@ -60,17 +60,32 @@ class ShadowOracle:
     machinery under test.
     """
 
-    def __init__(self, inner: Optional[Callable[[Packet], None]] = None):
+    def __init__(self, inner: Optional[Callable[[Packet], None]] = None,
+                 track_order: bool = False):
         self.inner = inner
         self.released = 0
         self.duplicate_releases = 0
         self._seen: Set[int] = set()
+        #: When tracking order (impaired soaks): full egress pid
+        #: sequence for bit-identical determinism comparison, plus a
+        #: per-flow monotonicity check -- exactly-once delivery must
+        #: also be *ordered* within each flow (PROTOCOL.md §8).
+        self.track_order = track_order
+        self.order: List[int] = []
+        self.out_of_order = 0
+        self._flow_last: Dict[FlowKey, int] = {}
 
     def __call__(self, packet: Packet) -> None:
         self.released += 1
         if packet.pid in self._seen:
             self.duplicate_releases += 1
         self._seen.add(packet.pid)
+        if self.track_order:
+            self.order.append(packet.pid)
+            last = self._flow_last.get(packet.flow)
+            if last is not None and packet.pid < last:
+                self.out_of_order += 1
+            self._flow_last[packet.flow] = packet.pid
         if self.inner is not None:
             self.inner(packet)
 

@@ -21,10 +21,16 @@ from typing import List, Optional, Tuple
 from ..core.chain import FTCChain
 from ..orchestration.orchestrator import Orchestrator
 
-__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS"]
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS",
+           "IMPAIRED_DELIVERY"]
+
+#: The data-plane adversity kind (PROTOCOL.md §8): chain links drop,
+#: duplicate, reorder, and corrupt packets for a window.
+IMPAIRED_DELIVERY = "impair-data"
 
 #: Supported fault kinds.
-FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control")
+FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control",
+               IMPAIRED_DELIVERY)
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,10 @@ class FaultSpec:
     ``kind="impair-control"``
         From ``at_s``, drop/duplicate/delay control-plane messages for
         ``duration_s`` (see :meth:`repro.net.Network.impair`).
+    ``kind="impair-data"`` (:data:`IMPAIRED_DELIVERY`)
+        From ``at_s``, chain links drop/duplicate/reorder/corrupt data
+        packets for ``duration_s``
+        (see :meth:`repro.net.Network.impair_data`).
     """
 
     kind: str
@@ -50,6 +60,8 @@ class FaultSpec:
     phase: Optional[str] = None
     drop_rate: float = 0.0
     dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
     extra_delay_s: float = 0.0
     delay_jitter_s: float = 0.0
     duration_s: Optional[float] = None
@@ -61,6 +73,13 @@ class FaultSpec:
             raise ValueError("crash faults need a position")
         if self.kind == "crash-during-recovery" and self.phase is None:
             raise ValueError("crash-during-recovery faults need a phase")
+        if self.kind in ("impair-control", IMPAIRED_DELIVERY):
+            for name in ("drop_rate", "dup_rate", "reorder_rate",
+                         "corrupt_rate"):
+                value = getattr(self, name)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(f"{name} must be a probability in "
+                                     f"[0, 1], got {value!r}")
 
     def describe(self) -> str:
         if self.kind == "crash":
@@ -68,6 +87,11 @@ class FaultSpec:
         if self.kind == "crash-during-recovery":
             return (f"crash p{self.position} at recovery phase "
                     f"{self.phase!r} (armed @ {self.at_s * 1e3:.2f}ms)")
+        if self.kind == IMPAIRED_DELIVERY:
+            return (f"impair data drop={self.drop_rate} dup={self.dup_rate} "
+                    f"reorder={self.reorder_rate} "
+                    f"corrupt={self.corrupt_rate} "
+                    f"@ {self.at_s * 1e3:.2f}ms")
         return (f"impair control drop={self.drop_rate} dup={self.dup_rate} "
                 f"delay={self.extra_delay_s * 1e3:.2f}ms "
                 f"@ {self.at_s * 1e3:.2f}ms")
@@ -100,6 +124,15 @@ class FaultPlan:
             dup_rate=dup_rate, extra_delay_s=extra_delay_s,
             delay_jitter_s=delay_jitter_s, duration_s=duration_s))
 
+    def impair_data(self, at_s: float, drop_rate: float = 0.0,
+                    dup_rate: float = 0.0, reorder_rate: float = 0.0,
+                    corrupt_rate: float = 0.0,
+                    duration_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultSpec(
+            kind=IMPAIRED_DELIVERY, at_s=at_s, drop_rate=drop_rate,
+            dup_rate=dup_rate, reorder_rate=reorder_rate,
+            corrupt_rate=corrupt_rate, duration_s=duration_s))
+
     def describe(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults,
                                                    key=lambda s: s.at_s)]
@@ -129,6 +162,10 @@ class FaultInjector:
                 sim.schedule_callback(
                     max(0.0, spec.at_s - sim.now),
                     lambda spec=spec: self._arm_phase_spec(spec))
+            elif spec.kind == IMPAIRED_DELIVERY:
+                sim.schedule_callback(
+                    max(0.0, spec.at_s - sim.now),
+                    lambda spec=spec: self._impair_data(spec))
             else:
                 sim.schedule_callback(
                     max(0.0, spec.at_s - sim.now),
@@ -151,6 +188,13 @@ class FaultInjector:
             drop_rate=spec.drop_rate, dup_rate=spec.dup_rate,
             extra_delay_s=spec.extra_delay_s,
             delay_jitter_s=spec.delay_jitter_s,
+            duration_s=spec.duration_s, seed=self.seed)
+        self._record(spec.describe())
+
+    def _impair_data(self, spec: FaultSpec) -> None:
+        self.chain.net.impair_data(
+            drop_rate=spec.drop_rate, dup_rate=spec.dup_rate,
+            reorder_rate=spec.reorder_rate, corrupt_rate=spec.corrupt_rate,
             duration_s=spec.duration_s, seed=self.seed)
         self._record(spec.describe())
 

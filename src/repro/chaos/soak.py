@@ -23,9 +23,10 @@ from ..sim import Simulator
 from ..telemetry import MetricRegistry, Telemetry
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
 from .monkey import ChaosMonkey
+from .plan import FaultInjector, FaultPlan
 
 __all__ = ["SoakConfig", "ScheduleResult", "SoakResult", "run_schedule",
-           "run_soak"]
+           "run_impaired_schedule", "run_soak"]
 
 #: Deterministic cost model: chaos schedules must be a pure function of
 #: the seed, so processing-time jitter is turned off.
@@ -51,6 +52,10 @@ class SoakConfig:
     #: Collect per-schedule recovery timelines and an aggregate metric
     #: registry (purely observational; schedules stay bit-identical).
     telemetry: bool = False
+    #: Data-plane impairment rates ``(drop, dup, reorder, corrupt)``.
+    #: When set, the soak runs :func:`run_impaired_schedule` instead:
+    #: reliable links + lossy data plane + exactly-once egress checks.
+    impair_data: Optional[Tuple[float, float, float, float]] = None
 
 
 @dataclass
@@ -69,6 +74,12 @@ class ScheduleResult:
     degraded: bool = False
     #: Structured recovery timeline (event dicts), when telemetry ran.
     timeline: List[dict] = field(default_factory=list)
+    #: Impaired schedules only (PROTOCOL.md §8): offered load, per-hop
+    #: retransmissions, and the exact egress pid order for determinism
+    #: regression (two runs of one seed must agree bit-for-bit).
+    sent: int = 0
+    retransmissions: int = 0
+    egress_pids: Optional[List[int]] = None
 
     @property
     def ok(self) -> bool:
@@ -168,6 +179,91 @@ def run_schedule(seed: int, chain_length: int, f: int,
                   else telemetry.timeline.as_dicts()))
 
 
+def run_impaired_schedule(seed: int, chain_length: int = 2, f: int = 1,
+                          drop_rate: float = 0.05, dup_rate: float = 0.02,
+                          reorder_rate: float = 0.02,
+                          corrupt_rate: float = 0.01,
+                          duration_s: float = 60e-3, rate_pps: float = 2e4,
+                          heartbeat_interval_s: float = 1e-3,
+                          index: int = 0,
+                          telemetry: Optional[Telemetry] = None
+                          ) -> ScheduleResult:
+    """One data-plane adversity schedule (PROTOCOL.md §8).
+
+    A fresh chain with reliable hop channels runs under a scripted
+    impairment window covering the middle 80% of the schedule: chain
+    links drop/duplicate/reorder/corrupt packets while the end-to-end
+    contract is audited -- exactly-once per-flow-ordered egress, zero
+    loss after drain, and *no failover* (a lossy link must read as a
+    lossy link, not as a dead replica).
+    """
+    sim = Simulator()
+    oracle = ShadowOracle(track_order=True)
+    chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
+                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed,
+                     telemetry=telemetry, reliable_links=True)
+    chain.start()
+    orchestrator = Orchestrator(sim, chain,
+                                heartbeat_interval_s=heartbeat_interval_s,
+                                corroborate_suspects=True)
+    orchestrator.start()
+    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=orchestrator)
+    plan = FaultPlan().impair_data(
+        at_s=duration_s * 0.1, drop_rate=drop_rate, dup_rate=dup_rate,
+        reorder_rate=reorder_rate, corrupt_rate=corrupt_rate,
+        duration_s=duration_s * 0.8)
+    injector = FaultInjector(chain, orchestrator, plan, seed=seed)
+    injector.start()
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate_pps,
+                                 flows=balanced_flows(8, 2))
+
+    def periodic_audit():
+        auditor.audit()
+        if sim.now + AUDIT_INTERVAL_S < duration_s:
+            sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+
+    sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+    sim.run(until=duration_s)
+    generator.stop()
+    # Retransmission tails need more drain runway than clean schedules
+    # (RTO backoff caps at 2ms); the impairment window already closed
+    # at 0.9 * duration, so by here every loss is recoverable.
+    sim.run(until=duration_s + 40 * heartbeat_interval_s)
+    auditor.audit(quiescent=True)
+    orchestrator.stop()
+
+    violations = list(auditor.violations)
+    if oracle.released != generator.sent:
+        violations.append(InvariantViolation(
+            invariant="egress-loss",
+            detail=f"released {oracle.released} != sent {generator.sent}",
+            at_s=sim.now))
+    if oracle.out_of_order:
+        violations.append(InvariantViolation(
+            invariant="egress-order",
+            detail=f"{oracle.out_of_order} per-flow order inversions",
+            at_s=sim.now))
+    if orchestrator.history:
+        violations.append(InvariantViolation(
+            invariant="spurious-failover",
+            detail=f"{len(orchestrator.history)} failovers under a "
+                   f"lossy-but-alive data plane",
+            at_s=sim.now))
+    stats = chain.channel_stats()
+    return ScheduleResult(
+        index=index, seed=seed, chain_length=chain_length, f=f,
+        faults=list(injector.injected), violations=violations,
+        released=oracle.released,
+        failures_detected=len(orchestrator.history),
+        recoveries=sum(1 for e in orchestrator.history if e.recovered),
+        degraded=chain.degraded,
+        timeline=([] if telemetry is None
+                  else telemetry.timeline.as_dicts()),
+        sent=generator.sent,
+        retransmissions=stats.get("retransmissions", 0),
+        egress_pids=list(oracle.order))
+
+
 def run_soak(config: Optional[SoakConfig] = None,
              progress=None) -> SoakResult:
     """Sweep ``config.schedules`` randomized schedules (round-robin over
@@ -181,13 +277,23 @@ def run_soak(config: Optional[SoakConfig] = None,
         chain_length, f = grid[index % len(grid)]
         seed = config.seed * 10_000 + index
         telemetry = Telemetry() if config.telemetry else None
-        schedule = run_schedule(
-            seed=seed, chain_length=chain_length, f=f,
-            max_faults=config.faults_per_schedule,
-            duration_s=config.duration_s, rate_pps=config.rate_pps,
-            heartbeat_interval_s=config.heartbeat_interval_s,
-            mean_fault_interval_s=config.mean_fault_interval_s,
-            index=index, telemetry=telemetry)
+        if config.impair_data is not None:
+            drop, dup, reorder, corrupt = config.impair_data
+            schedule = run_impaired_schedule(
+                seed=seed, chain_length=chain_length, f=f,
+                drop_rate=drop, dup_rate=dup, reorder_rate=reorder,
+                corrupt_rate=corrupt,
+                duration_s=config.duration_s, rate_pps=config.rate_pps,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                index=index, telemetry=telemetry)
+        else:
+            schedule = run_schedule(
+                seed=seed, chain_length=chain_length, f=f,
+                max_faults=config.faults_per_schedule,
+                duration_s=config.duration_s, rate_pps=config.rate_pps,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                mean_fault_interval_s=config.mean_fault_interval_s,
+                index=index, telemetry=telemetry)
         if telemetry is not None:
             result.registry.merge(telemetry.registry)
         result.schedules.append(schedule)

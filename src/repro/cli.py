@@ -31,7 +31,8 @@ from .sim import Simulator
 __all__ = ["main"]
 
 _EXPERIMENTS = ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "fig11", "fig12", "fig13", "ablations", "calibration"]
+                "fig11", "fig12", "fig13", "ablations", "calibration",
+                "lossy"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--fail-at", type=float, default=None,
                          help="inject a failure at this time (FTC only)")
         cmd.add_argument("--fail-position", type=int, default=0)
+        cmd.add_argument("--impair-data", default=None, metavar="SPEC",
+                         dest="impair_data",
+                         help="impair chain links, e.g. "
+                              "drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01 "
+                              "(FTC hops switch to reliable channels, §8)")
 
     run = sub.add_parser("run", help="simulate a chain under a system")
     _chain_options(run)
@@ -105,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--telemetry", action="store_true",
                        help="aggregate chain-wide metrics and recovery "
                             "timelines across schedules")
+    chaos.add_argument("--impair-data", default=None, metavar="SPEC",
+                       dest="impair_data",
+                       help="soak the data plane instead: impair chain "
+                            "links (e.g. drop=0.05,dup=0.02,reorder=0.02,"
+                            "corrupt=0.01) and audit exactly-once egress")
     return parser
 
 
@@ -117,9 +128,20 @@ def _cmd_list() -> int:
     return 0
 
 
+def _parse_impairment(text: str, prog: str):
+    from .net import DataImpairment
+    try:
+        return DataImpairment.parse(text)
+    except ValueError as err:
+        raise SystemExit(f"{prog}: {err}")
+
+
 def _run_chain(args, telemetry=None):
     """Shared run/trace driver; returns (system, generator, egress,
     middleboxes) after the simulation has completed."""
+    impairment = None
+    if getattr(args, "impair_data", None):
+        impairment = _parse_impairment(args.impair_data, "repro run")
     sim = Simulator()
     egress = EgressRecorder(sim)
     middleboxes = [create(kind.strip(), name=f"{kind.strip()}{i}")
@@ -127,6 +149,16 @@ def _run_chain(args, telemetry=None):
     system = _systems.build_system(
         args.system, sim, middleboxes, egress, n_threads=args.threads,
         f=args.failures, seed=args.seed, telemetry=telemetry)
+    if impairment is not None:
+        print(f"data impairment: {impairment.describe()}")
+        if hasattr(system, "reliable_links"):
+            # FTC hops switch to sequenced/retransmitting channels (§8);
+            # baselines run raw and simply lose packets.
+            system.reliable_links = True
+        system.net.impair_data(
+            drop_rate=impairment.drop_rate, dup_rate=impairment.dup_rate,
+            reorder_rate=impairment.reorder_rate,
+            corrupt_rate=impairment.corrupt_rate, seed=args.seed)
     system.start()
     generator = TrafficGenerator(
         sim, system.ingress, rate_pps=args.rate,
@@ -174,6 +206,20 @@ def _run_chain(args, telemetry=None):
 def _print_run_summary(args, system, generator, egress, middleboxes) -> None:
     print(f"\n{args.system.upper()} chain: "
           f"{' -> '.join(m.name for m in middleboxes)}")
+    if getattr(args, "impair_data", None):
+        spec = _parse_impairment(args.impair_data, "repro run")
+        print(f"data impairment: {spec.describe()}")
+        stats = system.net.data_impairment_stats()
+        print(f"  links: {stats['dropped']} dropped, "
+              f"{stats['duplicated']} duplicated, "
+              f"{stats['reordered']} reordered, "
+              f"{stats['corrupted']} corrupted")
+        if hasattr(system, "channel_stats"):
+            ch = system.channel_stats()
+            print(f"  channels: {ch.get('retransmissions', 0)} "
+                  f"retransmissions, {ch.get('nacks_sent', 0)} NACKs, "
+                  f"{ch.get('dup_dropped', 0)} dups dropped, "
+                  f"{ch.get('corrupt_dropped', 0)} corrupt dropped")
     print(f"offered {generator.sent} packets at {args.rate:g} pps; "
           f"released {system.total_released()}")
     print(f"throughput: {egress.throughput.rate_mpps():.3f} Mpps"
@@ -244,25 +290,40 @@ def _parse_int_list(text: str, option: str) -> List[int]:
 def _cmd_chaos(args) -> int:
     from .chaos import SoakConfig, run_soak
 
+    impair_data = None
+    if args.impair_data:
+        spec = _parse_impairment(args.impair_data, "repro chaos")
+        impair_data = (spec.drop_rate, spec.dup_rate, spec.reorder_rate,
+                       spec.corrupt_rate)
+        print(f"data impairment: {spec.describe()}")
+
     config = SoakConfig(
         seed=args.seed, schedules=args.schedules,
         faults_per_schedule=args.faults,
         chain_lengths=_parse_int_list(args.lengths, "--lengths"),
         f_values=_parse_int_list(args.f_values, "--f-values"),
         duration_s=args.duration, rate_pps=args.rate,
-        telemetry=args.telemetry)
+        telemetry=args.telemetry, impair_data=impair_data)
 
     def progress(schedule):
         status = "ok" if schedule.ok else "FAIL"
+        extra = (f"{schedule.retransmissions} retransmitted, "
+                 if impair_data else "")
         print(f"  schedule {schedule.index:3d} seed={schedule.seed} "
               f"Ch-{schedule.chain_length} f={schedule.f}: "
               f"{len(schedule.faults)} faults, "
               f"{schedule.failures_detected} detected, "
-              f"{schedule.recoveries} recovered, "
+              f"{schedule.recoveries} recovered, {extra}"
               f"{schedule.released} released -> {status}")
 
     result = run_soak(config, progress=progress if args.verbose else None)
     print(result.summary())
+    if impair_data:
+        total_retrans = sum(s.retransmissions for s in result.schedules)
+        total_sent = sum(s.sent for s in result.schedules)
+        print(f"data-plane reliability: {total_sent} offered, "
+              f"{sum(s.released for s in result.schedules)} released, "
+              f"{total_retrans} hop retransmissions")
     if args.telemetry and result.registry is not None:
         rows = result.registry.rows()
         if rows:

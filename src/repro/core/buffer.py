@@ -11,6 +11,7 @@ dependency vectors.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.packet import FlowKey, Packet
@@ -28,6 +29,16 @@ _FEEDBACK_FLOW = FlowKey(0x0A0000FD, 0x0A0000FC, 0, 0, 0)
 #: like this to keep the 10 GbE dissemination link's pps down).
 _FEEDBACK_MIN_INTERVAL_S = 0.5e-6
 
+#: Packet ids remembered for duplicate suppression (PROTOCOL.md §8).
+#: Sized far above any plausible in-flight population so a duplicate
+#: arriving within the retransmission horizon is always caught.
+_DEDUP_WINDOW = 65536
+
+#: Default bound on the held set: past this the buffer sheds load
+#: instead of growing without limit (a wedged commit path must not
+#: exhaust memory; shed packets are counted, never silently lost).
+_DEFAULT_MAX_HELD = 65536
+
 
 class Buffer:
     """Egress element: release gating, state feedback, commit tracking."""
@@ -35,7 +46,7 @@ class Buffer:
     def __init__(self, sim: Simulator, deliver: Callable[[Packet], None],
                  send_feedback: Callable[[Packet], None],
                  costs: CostModel = DEFAULT_COSTS, name: str = "buffer",
-                 telemetry=None):
+                 telemetry=None, max_held: int = _DEFAULT_MAX_HELD):
         self.sim = sim
         self.deliver = deliver
         self.send_feedback = send_feedback
@@ -47,6 +58,8 @@ class Buffer:
         self._m_held = registry.gauge(f"{name}/held")
         self._m_released = registry.counter(f"{name}/released")
         self._m_feedback = registry.counter(f"{name}/feedback_packets")
+        self._m_duplicates = registry.counter(f"{name}/duplicates_dropped")
+        self._m_overflow = registry.counter(f"{name}/overflow_dropped")
         #: pid -> virtual time the packet entered the held queue (only
         #: populated while telemetry is enabled).
         self._hold_started: Dict[int, float] = {}
@@ -63,7 +76,15 @@ class Buffer:
         self.packets_seen = 0
         self.cycles_spent = 0.0
         self.held_peak = 0
+        self.max_held = max_held
         self.propagating_consumed = 0
+        #: Exactly-once egress (§8): duplicate deliveries (a retransmit
+        #: that raced its ACK, a link-duplicated packet) are absorbed
+        #: here -- their piggyback content is idempotent upstream, and
+        #: the packet itself must not be released twice.
+        self.duplicates_dropped = 0
+        self.overflow_dropped = 0
+        self._seen_pids: "OrderedDict[int, None]" = OrderedDict()
         self._alive = True
         self._sender = sim.process(self._feedback_loop(), name=f"{name}/feedback")
 
@@ -73,6 +94,18 @@ class Buffer:
         """Process one packet at chain egress; returns CPU cycles spent."""
         self.packets_seen += 1
         cycles = self.costs.buffer_cycles
+        if packet.pid in self._seen_pids:
+            # Duplicate delivery: everything this message carries was
+            # already absorbed (log offers and commit merges are
+            # idempotent), so the whole packet is a no-op -- and
+            # releasing it again would break exactly-once egress.
+            self.duplicates_dropped += 1
+            self._m_duplicates.inc()
+            self.cycles_spent += cycles
+            return cycles
+        self._seen_pids[packet.pid] = None
+        if len(self._seen_pids) > _DEDUP_WINDOW:
+            self._seen_pids.popitem(last=False)
         # 1. Absorb commit vectors (including any this packet carried
         #    from the final tail) before evaluating release conditions.
         for mbox, commit in message.commits.items():
@@ -101,6 +134,11 @@ class Buffer:
             self.propagating_consumed += 1
         elif self._satisfied(requirements):
             self._release(packet)
+        elif len(self.held) >= self.max_held:
+            # Backpressure floor: shed instead of growing unboundedly
+            # when the commit path is wedged (counted, not silent).
+            self.overflow_dropped += 1
+            self._m_overflow.inc()
         else:
             self.held.append((packet, requirements))
             self.held_peak = max(self.held_peak, len(self.held))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..middlebox.base import Middlebox
+from ..net.channel import DATA_RETRY_POLICY, ReliableChannel
 from ..net.packet import Packet
 from ..net.topology import Network
 from ..sim import AnyOf, RandomStreams, RateLimiter, Simulator
@@ -40,7 +41,7 @@ class FTCChain:
                  costs: CostModel = DEFAULT_COSTS,
                  net: Optional[Network] = None, n_threads: int = 8,
                  seed: int = 0, use_htm: bool = False, name: str = "ftc",
-                 telemetry=None):
+                 telemetry=None, reliable_links: bool = False):
         if not middleboxes:
             raise ValueError("a chain needs at least one middlebox")
         if f < 0:
@@ -98,6 +99,13 @@ class FTCChain:
                     costs=costs, streams=self.streams, use_htm=use_htm)
             for position in range(self.n_positions)
         ]
+        #: PROTOCOL.md §8: wrap each inter-position hop in a
+        #: :class:`ReliableChannel` (sequencing + NACK/timeout
+        #: retransmission) so the chain survives data-plane impairment.
+        #: Off by default -- the disabled path adds no events and no
+        #: wire bytes, keeping unimpaired runs bit-identical.
+        self.reliable_links = reliable_links
+        self._channels: Dict[Tuple[int, int], ReliableChannel] = {}
         self.packets_in = 0
         self.feedback_lost = 0
         self.buffer_packets_lost = 0
@@ -181,6 +189,8 @@ class FTCChain:
             replica.stop()
         self.forwarder.stop()
         self.buffer.stop()
+        for channel in self._channels.values():
+            channel.stop()
 
     # -- data plane ------------------------------------------------------------------
 
@@ -196,8 +206,39 @@ class FTCChain:
 
     def send_to_position(self, src: int, dst: int, packet: Packet) -> None:
         src_name, dst_name = self.route[src], self.route[dst]
-        self.net.connect(src_name, dst_name)
-        self.net.send(src_name, dst_name, packet)
+        link = self.net.connect(src_name, dst_name)
+        if not self.reliable_links:
+            self.net.send(src_name, dst_name, packet)
+            return
+        if self.net.servers[src_name].failed:
+            self.net.dropped_to_failed += 1
+            return
+        channel = self._channel_for(src, dst)
+        # Recovery replaces a failed position's links with fresh ones,
+        # so re-adopt lazily: bind() is a no-op when already bound.
+        channel.bind(link)
+        channel.send(packet)
+
+    def _channel_for(self, src: int, dst: int) -> ReliableChannel:
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = ReliableChannel(
+                self.sim, name=f"{self.name}/ch{src}-{dst}",
+                policy=DATA_RETRY_POLICY,
+                hop_header_bytes=self.costs.hop_header_bytes,
+                ack_delay_s=self.costs.hop_delay_s,
+                loss_fn=self.net.data_leg_lost,
+                telemetry=self.telemetry)
+            self._channels[(src, dst)] = channel
+        return channel
+
+    def channel_stats(self) -> Dict[str, int]:
+        """Reliability-layer counters summed over all hop channels."""
+        totals: Dict[str, int] = {}
+        for channel in self._channels.values():
+            for key, value in channel.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def _send_feedback(self, packet: Packet) -> None:
         """Buffer -> forwarder dissemination over the 10 GbE path."""
@@ -280,6 +321,11 @@ class FTCChain:
             # The buffer's held packets die with the last server.
             self.buffer_packets_lost += self.buffer.discard_held()
             self.buffer.feedback_logs.clear()
+        # Hop channels touching the position lose their endpoint state;
+        # a new epoch fences any frame/ACK still in flight (§8).
+        for (src, dst), channel in self._channels.items():
+            if position in (src, dst):
+                channel.reset()
 
     # -- statistics -------------------------------------------------------------------
 

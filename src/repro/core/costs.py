@@ -95,6 +95,10 @@ class CostModel:
     key_bytes: int = 13                  # a 5-tuple-sized key
     commit_header_bytes: int = 8
     message_header_bytes: int = 8        # IP option + message framing
+    #: Per-hop reliability header when ``reliable_links`` is on: a
+    #: 4 B sequence number + 4 B checksum (``repro.net.channel``).
+    #: Only frames carry it, so disabled runs see identical wire sizes.
+    hop_header_bytes: int = 8
 
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / self.cpu_hz

@@ -1,7 +1,9 @@
 """Network substrate: packets, flows, links, NICs, servers, traffic."""
 
+from .channel import DATA_RETRY_POLICY, Frame, ReliableChannel
 from .churn import FlowChurnGenerator
 from .flowgen import FlowPool, TrafficGenerator, balanced_flows
+from .impairment import Corrupted, DataImpairment
 from .link import Link, LossyLink
 from .nic import DEFAULT_NIC_PPS, NIC
 from .packet import FlowKey, Packet, format_ip, ip
@@ -17,18 +19,23 @@ from .topology import (
 __all__ = [
     "CallResult",
     "ControlImpairment",
+    "Corrupted",
+    "DATA_RETRY_POLICY",
     "DEFAULT_CPU_HZ",
     "DEFAULT_HOP_DELAY_S",
     "DEFAULT_NIC_PPS",
     "DEFAULT_RETRY_POLICY",
+    "DataImpairment",
     "FlowChurnGenerator",
     "FlowKey",
     "FlowPool",
+    "Frame",
     "Link",
     "LossyLink",
     "NIC",
     "Network",
     "Packet",
+    "ReliableChannel",
     "RetryPolicy",
     "Server",
     "TrafficGenerator",

@@ -1,0 +1,397 @@
+"""Per-hop reliable delivery: sequencing, NACK/timeout retransmission.
+
+FTC's inter-replica protocol (§4.1) assumes the wire between adjacent
+chain positions delivers packets exactly once, in order.  Once links
+can drop, duplicate, reorder, and corrupt (``repro.net.impairment``),
+that assumption has to be *built*: a :class:`ReliableChannel` wraps one
+chain hop with the classic machinery --
+
+- every transmission is wrapped in a :class:`Frame` carrying a per-hop
+  sequence number and a checksum (modelled: a corrupted frame arrives
+  as ``Corrupted`` and is counted + discarded, like an FCS failure);
+- the receiver delivers in sequence order, holds a bounded set of
+  out-of-order frames, discards duplicates, and acknowledges
+  cumulatively (plus the held set, SACK-style);
+- a gap triggers a coalesced, rate-limited **NACK** listing the missing
+  sequences, so a single loss is repaired in about one RTT;
+- a timeout fallback retransmits anything unacknowledged past an RTO
+  with capped exponential backoff (reusing
+  :class:`repro.net.retry.RetryPolicy` for the schedule), covering
+  lost NACKs/ACKs and trailing losses with no later frame to expose
+  the gap;
+- the sender's in-flight window is bounded: excess sends queue in
+  FIFO order, so memory stays bounded under a lossy storm
+  (backpressure rather than unbounded buffering).
+
+Both endpoints of a hop live in one object (the simulator sees every
+side), and ACK/NACK legs travel as modelled reverse-path callbacks that
+share the wire's fate -- an installed impairment's drop rate applies to
+them too.  A ``reset()`` (crash of either endpoint) bumps the channel
+*epoch*; frames and acknowledgements from earlier epochs are discarded,
+so a retransmission from before a failover can never corrupt the
+replacement's sequence space.
+
+Retransmission here is wire-level and complements (not replaces) the
+FTC-layer retransmission of retained piggyback logs (§4.1): the channel
+repairs the hop, the log protocol repairs across failovers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim import CancelledError, Interrupt, Simulator
+from ..telemetry import NULL_TELEMETRY
+from .retry import RetryPolicy
+
+__all__ = ["Frame", "ReliableChannel", "DATA_RETRY_POLICY",
+           "DEFAULT_WINDOW", "DEFAULT_REORDER_CAP"]
+
+#: Data-plane retransmission schedule: much tighter than the control
+#: plane's (the hop RTT is ~13 us, not milliseconds).  ``max_attempts``
+#: is ignored -- the channel retries until acked or reset, because
+#: giving up would convert impairment into loss.  No jitter: impaired
+#: runs must be a pure function of the impairment stream.
+DATA_RETRY_POLICY = RetryPolicy(timeout_s=150e-6, max_attempts=0,
+                                backoff_base_s=50e-6, backoff_factor=2.0,
+                                backoff_max_s=2e-3, jitter_frac=0.0)
+
+#: Sender in-flight window (frames awaiting acknowledgement).
+DEFAULT_WINDOW = 512
+
+#: Receiver out-of-order hold capacity (frames parked awaiting a gap).
+DEFAULT_REORDER_CAP = 256
+
+#: Minimum spacing between gap-NACKs (coalesces a burst of gaps).
+NACK_MIN_INTERVAL_S = 20e-6
+
+
+class Frame:
+    """One wire transmission: hop header (seq + checksum) + payload.
+
+    A retransmission is a *new* frame with the same sequence number --
+    the packet object itself is never re-sent after delivery, because a
+    delivered packet keeps mutating as it travels on (its piggyback
+    message is detached, logs stripped at tails).
+    """
+
+    __slots__ = ("seq", "epoch", "packet", "header_bytes")
+
+    def __init__(self, seq: int, epoch: int, packet, header_bytes: int):
+        self.seq = seq
+        self.epoch = epoch
+        self.packet = packet
+        self.header_bytes = header_bytes
+
+    @property
+    def wire_size(self) -> int:
+        return self.packet.wire_size + self.header_bytes
+
+    def __repr__(self):
+        return f"<Frame seq={self.seq} e{self.epoch} {self.packet!r}>"
+
+
+class _Pending:
+    """Sender-side bookkeeping for one unacknowledged sequence."""
+
+    __slots__ = ("packet", "attempts", "deadline")
+
+    def __init__(self, packet, attempts: int, deadline: float):
+        self.packet = packet
+        self.attempts = attempts
+        self.deadline = deadline
+
+
+class ReliableChannel:
+    """Exactly-once, in-order delivery over one (impairable) hop."""
+
+    def __init__(self, sim: Simulator, name: str = "channel",
+                 policy: RetryPolicy = DATA_RETRY_POLICY,
+                 hop_header_bytes: int = 8,
+                 ack_delay_s: float = 6.5e-6,
+                 window: int = DEFAULT_WINDOW,
+                 reorder_cap: int = DEFAULT_REORDER_CAP,
+                 loss_fn: Optional[Callable[[], bool]] = None,
+                 telemetry=None):
+        self.sim = sim
+        self.name = name
+        self.policy = policy
+        self.hop_header_bytes = hop_header_bytes
+        self.ack_delay_s = ack_delay_s
+        self.window = window
+        self.reorder_cap = reorder_cap
+        #: Drawn per ACK/NACK leg; shares the data impairment's fate.
+        self.loss_fn = loss_fn or (lambda: False)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_retx = registry.counter("channel/retransmissions")
+        self._m_nacks = registry.counter("channel/nacks")
+        self._m_dups = registry.counter("channel/dup_dropped")
+        self._m_corrupt = registry.counter("channel/corrupt_dropped")
+        self._m_stalls = registry.counter("channel/window_stalls")
+        self._m_inflight = registry.histogram("channel/inflight")
+
+        self.epoch = 0
+        self._link = None
+        self._deliver: Callable[[Any], None] = lambda packet: None
+        # -- sender state --
+        self.next_seq = 0
+        self.unacked: Dict[int, _Pending] = {}
+        self.txq: List[Any] = []
+        # -- receiver state --
+        self.next_expected = 0
+        self.ooo: Dict[int, Any] = {}
+        self._last_nack_at = -1.0
+        self._ack_inflight = False
+        self._ack_again = False
+        # -- counters --
+        self.sent = 0
+        self.delivered = 0
+        self.retransmissions = 0
+        self.nacks_sent = 0
+        self.acks_sent = 0
+        self.dup_dropped = 0
+        self.corrupt_dropped = 0
+        self.stale_dropped = 0
+        self.reorder_dropped = 0
+        self.window_stalls = 0
+        self.ooo_held_peak = 0
+
+        self._alive = True
+        self._kick = sim.event()
+        self._watchdog = sim.process(self._watchdog_loop(),
+                                     name=f"{name}/watchdog")
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, link) -> None:
+        """Adopt a link: frames go out on it, its sink becomes ours.
+
+        Idempotent and re-entrant: recovery replaces a failed position's
+        links with fresh ones, so the chain re-binds lazily per send.
+        """
+        if link is self._link:
+            return
+        self._link = link
+        if link.sink != self._on_wire:
+            # Guard against re-adopting a link we already own (e.g.
+            # after reset()): its sink is our receiver, and capturing
+            # that as _deliver would loop delivery back into ourselves.
+            self._deliver = link.sink
+            link.sink = self._on_wire
+
+    def stop(self) -> None:
+        self._alive = False
+        if self._watchdog is not None and self._watchdog.is_alive:
+            self._watchdog.interrupt("channel stopped")
+        self._watchdog = None
+
+    def reset(self) -> None:
+        """An endpoint failed: discard state, open a new epoch.
+
+        Unacknowledged frames die with the sender (their recovery is
+        the FTC layer's job); parked out-of-order frames die with the
+        receiver.  Anything still in flight carries the old epoch and
+        is discarded on arrival.
+        """
+        self.epoch += 1
+        self.next_seq = 0
+        self.unacked.clear()
+        self.txq.clear()
+        self.next_expected = 0
+        self.ooo.clear()
+        self._ack_inflight = False
+        self._ack_again = False
+        self._last_nack_at = -1.0
+        self._link = None
+
+    # -- sender ----------------------------------------------------------------
+
+    def send(self, packet) -> None:
+        """Send a packet; it is delivered exactly once, in order."""
+        if len(self.unacked) >= self.window:
+            self.txq.append(packet)
+            self.window_stalls += 1
+            self._m_stalls.inc()
+            return
+        self._transmit(packet)
+
+    def _transmit(self, packet) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        self.sent += 1
+        self.unacked[seq] = _Pending(
+            packet, attempts=1,
+            deadline=self.sim.now + self.policy.timeout_s)
+        if self.telemetry.enabled:
+            self._m_inflight.observe(float(len(self.unacked)), t=self.sim.now)
+        self._send_frame(seq, packet)
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _send_frame(self, seq: int, packet) -> None:
+        self._link.send(Frame(seq, self.epoch, packet,
+                              self.hop_header_bytes))
+
+    def _refill(self) -> None:
+        while self.txq and len(self.unacked) < self.window:
+            self._transmit(self.txq.pop(0))
+
+    def _rto(self, attempts: int) -> float:
+        """Deadline for retry ``attempts``: base timeout + capped backoff."""
+        return self.policy.timeout_s + self.policy.backoff_s(max(1, attempts))
+
+    def _retransmit(self, seq: int, pending: _Pending) -> None:
+        pending.attempts += 1
+        pending.deadline = self.sim.now + self._rto(pending.attempts)
+        self.retransmissions += 1
+        self._m_retx.inc()
+        self._send_frame(seq, pending.packet)
+
+    def _watchdog_loop(self):
+        """Timeout fallback: retransmit anything unacked past its RTO."""
+        check_interval = self.policy.timeout_s / 2.0
+        try:
+            while self._alive:
+                if not self.unacked:
+                    self._kick = self.sim.event()
+                    yield self._kick
+                    continue
+                yield self.sim.timeout(check_interval)
+                now = self.sim.now
+                for seq in sorted(self.unacked):
+                    pending = self.unacked.get(seq)
+                    if pending is not None and pending.deadline <= now:
+                        self._retransmit(seq, pending)
+        except (Interrupt, CancelledError):
+            return
+
+    # -- receiver ---------------------------------------------------------------
+
+    def _on_wire(self, obj) -> None:
+        if getattr(obj, "corrupted_wire", False):
+            obj = obj.inner
+            if isinstance(obj, Frame) and obj.epoch == self.epoch:
+                self.corrupt_dropped += 1
+                self._m_corrupt.inc()
+            return  # checksum failure: recovered like a loss
+        if not isinstance(obj, Frame):
+            self._deliver(obj)  # unframed traffic passes through
+            return
+        if obj.epoch != self.epoch:
+            self.stale_dropped += 1
+            return
+        seq = obj.seq
+        if seq < self.next_expected or seq in self.ooo:
+            self.dup_dropped += 1
+            self._m_dups.inc()
+            self._schedule_ack()  # re-ACK: the original ACK may be lost
+            return
+        if seq == self.next_expected:
+            self._deliver_up(obj.packet)
+            while self.next_expected in self.ooo:
+                self._deliver_up(self.ooo.pop(self.next_expected).packet)
+        else:
+            if len(self.ooo) >= self.reorder_cap:
+                # Bounded memory beats holding everything: drop it;
+                # the sender's RTO will offer it again once the gap
+                # ahead of it has been repaired and space freed.
+                self.reorder_dropped += 1
+                return
+            self.ooo[seq] = obj
+            self.ooo_held_peak = max(self.ooo_held_peak, len(self.ooo))
+            self._schedule_nack(seq)
+        self._schedule_ack()
+
+    def _deliver_up(self, packet) -> None:
+        self.delivered += 1
+        self.next_expected += 1
+        self._deliver(packet)
+
+    # -- acknowledgement legs ------------------------------------------------------
+
+    def _schedule_ack(self) -> None:
+        """Coalesced cumulative ACK: at most one in flight at a time."""
+        if self._ack_inflight:
+            self._ack_again = True
+            return
+        self._ack_inflight = True
+        lost = self.loss_fn()
+        epoch = self.epoch
+
+        def arrive():
+            self._ack_inflight = False
+            if self._ack_again:
+                self._ack_again = False
+                self._schedule_ack()
+            if lost or epoch != self.epoch:
+                return
+            self._on_ack(epoch, self.next_expected - 1,
+                         frozenset(self.ooo))
+
+        self.acks_sent += 1
+        self.sim.schedule_callback(self.ack_delay_s, arrive)
+
+    def _on_ack(self, epoch: int, cumulative: int, sacked) -> None:
+        if epoch != self.epoch:
+            return
+        acked = [seq for seq in self.unacked
+                 if seq <= cumulative or seq in sacked]
+        for seq in acked:
+            del self.unacked[seq]
+        if acked:
+            self._refill()
+
+    def _schedule_nack(self, got_seq: int) -> None:
+        """Gap-NACK: list the missing sequences below an arrival."""
+        now = self.sim.now
+        if now - self._last_nack_at < NACK_MIN_INTERVAL_S:
+            return
+        missing = tuple(seq for seq in range(self.next_expected, got_seq)
+                        if seq not in self.ooo)
+        if not missing:
+            return
+        self._last_nack_at = now
+        self.nacks_sent += 1
+        self._m_nacks.inc()
+        lost = self.loss_fn()
+        epoch = self.epoch
+
+        def arrive():
+            if lost or epoch != self.epoch:
+                return
+            self._on_nack(epoch, missing)
+
+        self.sim.schedule_callback(self.ack_delay_s, arrive)
+
+    def _on_nack(self, epoch: int, missing) -> None:
+        if epoch != self.epoch:
+            return
+        for seq in missing:
+            pending = self.unacked.get(seq)
+            if pending is not None:
+                self._retransmit(seq, pending)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return len(self.unacked)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent, "delivered": self.delivered,
+            "retransmissions": self.retransmissions,
+            "nacks_sent": self.nacks_sent, "acks_sent": self.acks_sent,
+            "dup_dropped": self.dup_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+            "stale_dropped": self.stale_dropped,
+            "reorder_dropped": self.reorder_dropped,
+            "window_stalls": self.window_stalls,
+            "ooo_held_peak": self.ooo_held_peak,
+            "inflight": len(self.unacked), "queued": len(self.txq),
+        }
+
+    def __repr__(self):
+        return (f"<ReliableChannel {self.name} e{self.epoch} "
+                f"inflight={len(self.unacked)} next={self.next_seq}>")

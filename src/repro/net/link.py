@@ -5,6 +5,12 @@ Delivery is FIFO: a packet never overtakes an earlier one on the same
 link, which the FTC protocol relies on between adjacent replicas
 (sequence numbers still guard against drops, which the link can also
 inject for fault testing).
+
+Under a :class:`repro.net.impairment.DataImpairment` (installed via
+:meth:`Network.impair_data`) a link additionally drops, duplicates,
+reorders, and corrupts packets from a dedicated seeded stream -- the
+data-plane adversity the reliability layer (``repro.net.channel``)
+exists to survive.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..sim import RateLimiter, Simulator
+from .impairment import Corrupted, DataImpairment
 
 __all__ = ["Link", "LossyLink"]
 
@@ -33,6 +40,12 @@ class Link:
         self.name = name
         self.tx_packets = 0
         self.tx_bytes = 0
+        self._impairment: Optional[DataImpairment] = None
+        self._impair_rng = None
+        self.impair_dropped = 0
+        self.impair_duplicated = 0
+        self.impair_reordered = 0
+        self.impair_corrupted = 0
         self._serializer = RateLimiter(
             sim, rate=1e12,  # negligible base slot; cost_fn dominates
             cost_fn=self._serialization_time, name=f"{name}/serializer")
@@ -42,23 +55,70 @@ class Link:
 
     def send(self, packet) -> None:
         """Enqueue a packet; it arrives after serialization + delay."""
+        spec = self._impairment
+        if spec is not None and spec.active(self.sim.now):
+            self._send_impaired(packet, spec)
+            return
         self.tx_packets += 1
         self.tx_bytes += packet.wire_size
         serialization = self._serializer.admission_delay(packet)
         self.sim.schedule_callback(serialization + self.delay_s,
                                    lambda: self.sink(packet))
 
-    @property
-    def utilization_window(self) -> float:
-        """Seconds of serialization backlog currently queued."""
-        return self._serializer.backlog
+    # -- impairment ----------------------------------------------------------
+
+    def set_impairment(self, spec: Optional[DataImpairment], rng) -> None:
+        """Install (or clear, with ``None``) data-plane impairment."""
+        self._impairment = spec
+        self._impair_rng = rng
+
+    def clear_impairment(self) -> None:
+        self._impairment = None
+
+    def _send_impaired(self, packet, spec: DataImpairment) -> None:
+        """One impaired transmission: drop / dup / corrupt / reorder.
+
+        Draw order is fixed (drop, dup, then per-copy corrupt and
+        reorder) so a run is a pure function of the impairment stream.
+        Duplicates burn wire time for each copy; dropped packets still
+        count as offered (``tx_packets``/``tx_bytes`` measure what the
+        sender pushed into the link, as on the unimpaired path).
+        """
+        rng = self._impair_rng
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_size
+        if spec.drop_rate and rng.random() < spec.drop_rate:
+            self.impair_dropped += 1
+            return
+        copies = 1
+        if spec.dup_rate and rng.random() < spec.dup_rate:
+            copies = 2
+            self.impair_duplicated += 1
+            self.tx_packets += 1
+            self.tx_bytes += packet.wire_size
+        for _ in range(copies):
+            deliver = packet
+            if spec.corrupt_rate and rng.random() < spec.corrupt_rate:
+                self.impair_corrupted += 1
+                deliver = Corrupted(packet)
+            extra = 0.0
+            if spec.reorder_rate and rng.random() < spec.reorder_rate:
+                self.impair_reordered += 1
+                extra = spec.reorder_delay_s * (1.0 + rng.random())
+            serialization = self._serializer.admission_delay(deliver)
+            self.sim.schedule_callback(
+                serialization + self.delay_s + extra,
+                lambda p=deliver: self.sink(p))
 
 
 class LossyLink(Link):
-    """A link that drops packets, for retransmission/fault tests.
+    """A link that deterministically drops packets (legacy test stub).
 
     ``drop_fn`` decides per packet; by default a deterministic
-    every-Nth-packet drop so tests are reproducible.
+    every-Nth-packet drop so tests are reproducible.  Superseded by
+    :class:`repro.net.impairment.DataImpairment` (seeded probabilistic
+    drop/dup/reorder/corrupt on any :class:`Link`); kept for tests that
+    want an exact, countable drop pattern.
     """
 
     def __init__(self, sim: Simulator, sink: Callable[[Any], None],
@@ -71,11 +131,16 @@ class LossyLink(Link):
         self.dropped = 0
 
     def send(self, packet) -> None:
+        # Dropped packets still count as offered: the sender serialized
+        # them into the wire; they just never reach the sink.
         if self.drop_fn is not None and self.drop_fn(packet):
+            self.tx_packets += 1
+            self.tx_bytes += packet.wire_size
             self.dropped += 1
             return
         if self.drop_every and (self.tx_packets + 1) % self.drop_every == 0:
             self.tx_packets += 1
+            self.tx_bytes += packet.wire_size
             self.dropped += 1
             return
         super().send(packet)

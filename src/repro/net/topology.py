@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Simulator
 from ..telemetry import NULL_TELEMETRY
+from .impairment import DataImpairment
 from .link import Link
 from .nic import DEFAULT_NIC_PPS, NIC
 from .packet import Packet
@@ -106,6 +107,10 @@ class Network:
         self.dropped_to_failed = 0
         self._impairment: Optional[ControlImpairment] = None
         self._impair_rng = None
+        self._data_impairment: Optional[DataImpairment] = None
+        self._data_rng = None
+        #: Corrupted deliveries discarded at the receiver (FCS model).
+        self.data_corrupt_dropped = 0
         self.control_messages = 0
         self.control_drops = 0
         self.control_dups = 0
@@ -134,6 +139,11 @@ class Network:
         dst_server = self.servers[dst]
 
         def sink(packet, _dst=dst_server):
+            if getattr(packet, "corrupted_wire", False):
+                # No reliability layer adopted this link: the receiver
+                # NIC's FCS check discards the damaged packet.
+                self.data_corrupt_dropped += 1
+                return
             if _dst.failed:
                 self.dropped_to_failed += 1
                 return
@@ -143,6 +153,10 @@ class Network:
                     delay_s=self.hop_delay_s if delay_s is None else delay_s,
                     bandwidth_bps=bandwidth_bps or self.bandwidth_bps,
                     name=f"{src}->{dst}")
+        if self._data_impairment is not None:
+            # Links created later (e.g. by recovery wiring a respawned
+            # replica) inherit the impairment currently installed.
+            link.set_impairment(self._data_impairment, self._data_rng)
         self._links[key] = link
         return link
 
@@ -212,6 +226,74 @@ class Network:
 
     def clear_impairment(self) -> None:
         self._impairment = None
+
+    # -- data-plane impairment ---------------------------------------------------
+
+    def impair_data(self, drop_rate: float = 0.0, dup_rate: float = 0.0,
+                    reorder_rate: float = 0.0, corrupt_rate: float = 0.0,
+                    reorder_delay_s: Optional[float] = None,
+                    duration_s: Optional[float] = None,
+                    seed: int = 0,
+                    links: Optional[Tuple[Tuple[str, str], ...]] = None
+                    ) -> DataImpairment:
+        """Install data-plane impairment on links (chaos fault injection).
+
+        The data-plane twin of :meth:`impair`: every packet offered to
+        an affected link may be dropped, duplicated, reordered, or
+        corrupted until ``duration_s`` elapses (or
+        :meth:`clear_data_impairment`).  ``links`` restricts the blast
+        radius to specific ``(src, dst)`` pairs; by default every
+        existing link -- and any link created later, e.g. by recovery
+        -- is impaired.  Draws come from one dedicated seeded stream so
+        impaired runs stay exactly reproducible.
+        """
+        from ..sim import RandomStreams
+        kwargs = {} if reorder_delay_s is None else {
+            "reorder_delay_s": reorder_delay_s}
+        spec = DataImpairment(
+            drop_rate=drop_rate, dup_rate=dup_rate,
+            reorder_rate=reorder_rate, corrupt_rate=corrupt_rate,
+            expires_at=(None if duration_s is None
+                        else self.sim.now + duration_s), **kwargs)
+        if self._data_rng is None:
+            self._data_rng = RandomStreams(seed).stream("data-impairment")
+        if links is None:
+            self._data_impairment = spec
+            targets = list(self._links.values())
+        else:
+            targets = [self.link(src, dst) for src, dst in links]
+        for link in targets:
+            link.set_impairment(spec, self._data_rng)
+        return spec
+
+    def clear_data_impairment(self) -> None:
+        self._data_impairment = None
+        for link in self._links.values():
+            link.clear_impairment()
+
+    def data_leg_lost(self) -> bool:
+        """Draw whether one reverse-path leg (ACK/NACK) is lost.
+
+        The reliability layer's acknowledgements travel against the
+        data direction; they share the wire's fate, so an installed
+        impairment's drop rate applies to them too (from the same
+        stream, keeping runs seed-pure).
+        """
+        imp = self._data_impairment
+        if imp is None or not imp.active(self.sim.now) or not imp.drop_rate:
+            return False
+        return self._data_rng.random() < imp.drop_rate
+
+    def data_impairment_stats(self) -> Dict[str, int]:
+        """Per-kind impairment totals summed over all links."""
+        stats = {"dropped": 0, "duplicated": 0, "reordered": 0,
+                 "corrupted": 0}
+        for link in self._links.values():
+            stats["dropped"] += link.impair_dropped
+            stats["duplicated"] += link.impair_duplicated
+            stats["reordered"] += link.impair_reordered
+            stats["corrupted"] += link.impair_corrupted
+        return stats
 
     def _impaired_leg(self) -> Tuple[int, float]:
         """(copies delivered, extra delay) for one control-message leg."""

@@ -81,6 +81,7 @@ class Orchestrator:
                  heartbeat_retry: Optional[RetryPolicy] = None,
                  recovery_retry: Optional[RetryPolicy] = None,
                  max_recovery_attempts: int = 20,
+                 corroborate_suspects: bool = False,
                  name: str = "orchestrator", telemetry=None):
         self.sim = sim
         self.chain = chain
@@ -103,6 +104,7 @@ class Orchestrator:
         self._m_failures = registry.counter("orch/failures_detected")
         self._m_recoveries = registry.counter("orch/recoveries")
         self._m_abandoned = registry.counter("orch/abandoned")
+        self._m_cleared = registry.counter("orch/suspects_cleared")
         #: Two quick probes per round, fitting the classic 0.8*interval
         #: budget; no jitter so detection-delay bounds stay deterministic.
         self.heartbeat_retry = heartbeat_retry or RetryPolicy(
@@ -110,6 +112,15 @@ class Orchestrator:
             backoff_base_s=0.0, jitter_frac=0.0)
         self.recovery_retry = recovery_retry or RetryPolicy()
         self.max_recovery_attempts = max_recovery_attempts
+        #: PROTOCOL.md §8: before declaring a suspect failed, ask a
+        #: *witness* (another alive position) to probe it over its own
+        #: path with the patient recovery policy.  Distinguishes a
+        #: lossy link eating heartbeats from a dead replica, so data-
+        #: plane impairment alone never triggers spurious failover.
+        #: Off by default: the extra probe shifts detection timing
+        #: (fig13 measures it), so clean runs stay bit-identical.
+        self.corroborate_suspects = corroborate_suspects
+        self.suspects_cleared = 0
         #: Observers called as ``hook(phase, positions)`` on every
         #: recovery phase -- the chaos subsystem injects
         #: failures-during-recovery through these.
@@ -195,6 +206,48 @@ class Orchestrator:
                 self.telemetry.timeline.record("suspected", [position],
                                                t=self.sim.now)
 
+    def _witness_for(self, position: int) -> Optional[int]:
+        """The nearest alive position to probe a suspect from."""
+        skip = self._recovering_positions | self._lost_positions | {position}
+        candidates = [p for p in range(self.chain.n_positions)
+                      if p not in skip and not self.chain.server_at(p).failed]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: (abs(p - position), p))
+
+    def _corroborate(self, suspects: List[int]):
+        """Probe each suspect from a witness; return the confirmed dead.
+
+        Heartbeat misses alone cannot distinguish a dead replica from a
+        path eating packets; a second opinion over a different source
+        path with the patient (backed-off) recovery policy can.  A
+        suspect that answers is cleared -- its misses reset -- and no
+        failover happens.
+        """
+        confirmed: List[int] = []
+        for position in suspects:
+            witness = self._witness_for(position)
+            server = self.chain.server_at(position)
+            src = (self.chain.route[witness] if witness is not None
+                   else self.chain.route[position])
+            result = yield from reliable_call(
+                self.chain.net, src, self.chain.route[position],
+                lambda server=server: not server.failed,
+                policy=self.recovery_retry, payload_bytes=64,
+                response_bytes=64)
+            self.control_retries += result.retries
+            if result.ok and result.value:
+                self._misses[position] = 0
+                self._last_seen_alive[position] = self.sim.now
+                self.suspects_cleared += 1
+                self._m_cleared.inc()
+                self.telemetry.timeline.record(
+                    "suspect-cleared", [position],
+                    detail=f"witness p{witness}", t=self.sim.now)
+            else:
+                confirmed.append(position)
+        return confirmed
+
     def _monitor_loop(self):
         for position in range(self.chain.n_positions):
             self._misses[position] = 0
@@ -212,6 +265,8 @@ class Orchestrator:
                 failed = [position for position in active
                           if self._misses.get(position, 0) > self.misses_allowed
                           and position not in self._recovering_positions]
+                if failed and self.corroborate_suspects:
+                    failed = yield from self._corroborate(failed)
                 if failed:
                     self._declare_failed(failed)
         except (Interrupt, CancelledError):

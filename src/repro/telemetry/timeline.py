@@ -28,7 +28,7 @@ __all__ = ["TimelineEvent", "TimelineAttempt", "RecoveryTimeline",
 
 #: Every event kind a timeline may carry, in typical firing order.
 TIMELINE_EVENT_KINDS = (
-    "fault-injected", "suspected", "confirmed",
+    "fault-injected", "suspected", "suspect-cleared", "confirmed",
     "initializing", "spawned", "fetching", "fetched",
     "rerouting", "committed", "abandoned",
 )

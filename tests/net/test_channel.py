@@ -1,0 +1,187 @@
+"""Tests for the per-hop reliable channel (sequencing + retransmission)."""
+
+import random
+
+from repro.net import DataImpairment, FlowKey, Link, Packet, ReliableChannel
+from repro.net.channel import Frame
+from repro.sim import Simulator
+
+
+def _pkt(size=256, sport=1000):
+    return Packet(flow=FlowKey(1, 2, sport, 80), size=size)
+
+
+class FlakyLink(Link):
+    """Drops chosen transmissions by index (0-based, first copy only)."""
+
+    def __init__(self, sim, sink, drop_nth=(), **kwargs):
+        super().__init__(sim, sink, **kwargs)
+        self._drop_nth = set(drop_nth)
+        self._nth = 0
+
+    def send(self, frame):
+        n = self._nth
+        self._nth += 1
+        if n in self._drop_nth:
+            self.tx_packets += 1
+            self.tx_bytes += frame.wire_size
+            return
+        super().send(frame)
+
+
+def _channel(sim, link, **kwargs):
+    channel = ReliableChannel(sim, name="test-ch", **kwargs)
+    channel.bind(link)
+    return channel
+
+
+class TestReliableChannel:
+    def test_in_order_delivery_clean_link(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        channel = _channel(sim, link)
+        packets = [_pkt() for _ in range(5)]
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        assert arrivals == packets
+        assert channel.delivered == 5
+        assert channel.retransmissions == 0
+        assert channel.inflight == 0
+
+    def test_frame_carries_hop_header(self):
+        pkt = _pkt(size=100)
+        frame = Frame(0, 0, pkt, header_bytes=8)
+        assert frame.wire_size == pkt.wire_size + 8
+
+    def test_loss_repaired_by_nack_exactly_once_in_order(self):
+        sim = Simulator()
+        arrivals = []
+        link = FlakyLink(sim, arrivals.append, drop_nth=(0,))
+        channel = _channel(sim, link)
+        packets = [_pkt() for _ in range(3)]
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        assert arrivals == packets  # original order, nothing twice
+        assert channel.retransmissions == 1
+        assert channel.nacks_sent >= 1
+        assert channel.inflight == 0
+
+    def test_trailing_loss_repaired_by_timeout(self):
+        sim = Simulator()
+        arrivals = []
+        link = FlakyLink(sim, arrivals.append, drop_nth=(0,))
+        channel = _channel(sim, link)
+        packet = _pkt()
+        channel.send(packet)  # no later frame exposes the gap: RTO only
+        sim.run()
+        assert arrivals == [packet]
+        assert channel.retransmissions >= 1
+        assert channel.nacks_sent == 0
+        assert channel.inflight == 0
+
+    def test_duplicates_dropped(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(dup_rate=1.0), random.Random(3))
+        channel = _channel(sim, link)
+        packets = [_pkt() for _ in range(4)]
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        assert arrivals == packets
+        assert channel.dup_dropped >= 4
+
+    def test_reordering_restored(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(
+            DataImpairment(reorder_rate=0.5, reorder_delay_s=100e-6),
+            random.Random(5))
+        channel = _channel(sim, link)
+        packets = [_pkt() for _ in range(20)]
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        assert arrivals == packets  # wire scrambled, egress in order
+        assert link.impair_reordered > 0
+
+    def test_corruption_recovered_like_loss(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        # Corrupt everything briefly; retransmissions sail through clean.
+        link.set_impairment(
+            DataImpairment(corrupt_rate=1.0, expires_at=1e-6),
+            random.Random(5))
+        channel = _channel(sim, link)
+        packets = [_pkt() for _ in range(3)]
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        assert arrivals == packets
+        assert channel.corrupt_dropped == 3
+        assert channel.retransmissions >= 3
+
+    def test_window_backpressure(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        channel = _channel(sim, link, window=2)
+        packets = [_pkt() for _ in range(5)]
+        for packet in packets:
+            channel.send(packet)
+        assert channel.inflight == 2
+        assert len(channel.txq) == 3
+        assert channel.window_stalls == 3
+        sim.run()  # ACKs open the window; queue drains in order
+        assert arrivals == packets
+
+    def test_epoch_fences_stale_frames(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        channel = _channel(sim, link)
+        channel.send(_pkt())
+        channel.reset()  # endpoint failed with the frame still in flight
+        channel.bind(link)
+        fresh = _pkt()
+        channel.send(fresh)
+        sim.run()
+        assert arrivals == [fresh]
+        assert channel.stale_dropped == 1
+        assert channel.epoch == 1
+
+    def test_unframed_traffic_passes_through(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        _channel(sim, link)
+        raw = _pkt()
+        link.send(raw)  # bypasses the channel sender entirely
+        sim.run()
+        assert arrivals == [raw]
+
+    def test_bind_is_idempotent(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        channel = _channel(sim, link)
+        channel.bind(link)  # re-bind must not chain _on_wire onto itself
+        channel.send(_pkt())
+        sim.run()
+        assert len(arrivals) == 1
+
+    def test_stats_keys(self):
+        sim = Simulator()
+        link = Link(sim, lambda p: None)
+        channel = _channel(sim, link)
+        stats = channel.stats()
+        for key in ("sent", "delivered", "retransmissions", "nacks_sent",
+                    "dup_dropped", "corrupt_dropped", "stale_dropped",
+                    "window_stalls", "inflight", "queued"):
+            assert key in stats

@@ -1,0 +1,197 @@
+"""Tests for data-plane impairment: spec parsing, impaired links, and
+the legacy LossyLink accounting."""
+
+import random
+
+import pytest
+
+from repro.net import DataImpairment, FlowKey, Link, LossyLink, Packet
+from repro.net.impairment import Corrupted
+from repro.sim import Simulator
+
+
+def _pkt(size=256, sport=1000):
+    return Packet(flow=FlowKey(1, 2, sport, 80), size=size)
+
+
+class TestDataImpairmentSpec:
+    def test_parse_full_spec(self):
+        spec = DataImpairment.parse(
+            "drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01")
+        assert spec.drop_rate == 0.05
+        assert spec.dup_rate == 0.02
+        assert spec.reorder_rate == 0.02
+        assert spec.corrupt_rate == 0.01
+
+    def test_parse_partial_any_order_with_spaces(self):
+        spec = DataImpairment.parse(" corrupt=0.1 , drop=0.2 ")
+        assert spec.corrupt_rate == 0.1
+        assert spec.drop_rate == 0.2
+        assert spec.dup_rate == 0.0
+        assert spec.reorder_rate == 0.0
+
+    def test_parse_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown impairment key"):
+            DataImpairment.parse("jitter=0.1")
+
+    def test_parse_missing_rate(self):
+        with pytest.raises(ValueError, match="needs =RATE"):
+            DataImpairment.parse("drop")
+
+    def test_parse_non_numeric(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            DataImpairment.parse("drop=lots")
+
+    def test_parse_out_of_range(self):
+        with pytest.raises(ValueError, match=r"must be in \[0, 1\]"):
+            DataImpairment.parse("drop=1.5")
+        with pytest.raises(ValueError, match=r"must be in \[0, 1\]"):
+            DataImpairment.parse("dup=-0.1")
+
+    def test_parse_empty(self):
+        with pytest.raises(ValueError, match="empty impairment spec"):
+            DataImpairment.parse("  ,  ")
+
+    def test_constructor_validates_rates(self):
+        with pytest.raises(ValueError):
+            DataImpairment(drop_rate=1.01)
+        with pytest.raises(ValueError):
+            DataImpairment(reorder_rate=-0.5)
+
+    def test_active_window(self):
+        spec = DataImpairment(drop_rate=1.0, expires_at=5.0)
+        assert spec.active(0.0)
+        assert spec.active(4.999)
+        assert not spec.active(5.0)
+        assert DataImpairment(drop_rate=1.0).active(1e9)
+
+    def test_describe(self):
+        spec = DataImpairment.parse("drop=0.05,dup=0.02")
+        assert spec.describe() == "drop=0.05 dup=0.02"
+
+
+class TestImpairedLink:
+    def test_drop_all(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(drop_rate=1.0), random.Random(1))
+        for _ in range(5):
+            link.send(_pkt())
+        sim.run()
+        assert arrivals == []
+        assert link.impair_dropped == 5
+        assert link.tx_packets == 5  # dropped packets still count offered
+
+    def test_duplicate_all(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(dup_rate=1.0), random.Random(1))
+        pkt = _pkt(size=100)
+        link.send(pkt)
+        sim.run()
+        assert arrivals == [pkt, pkt]
+        assert link.impair_duplicated == 1
+        assert link.tx_packets == 2  # both copies burn wire accounting
+        assert link.tx_bytes == 2 * pkt.wire_size
+
+    def test_corrupt_all_delivers_wrapper(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(corrupt_rate=1.0),
+                            random.Random(1))
+        pkt = _pkt()
+        link.send(pkt)
+        sim.run()
+        assert len(arrivals) == 1
+        assert isinstance(arrivals[0], Corrupted)
+        assert arrivals[0].corrupted_wire
+        assert arrivals[0].inner is pkt
+        assert arrivals[0].wire_size == pkt.wire_size
+        assert link.impair_corrupted == 1
+
+    def test_reorder_delays_delivery(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, lambda p: arrivals.append((sim.now, p)),
+                    delay_s=1e-6, bandwidth_bps=1e15)
+        link.set_impairment(
+            DataImpairment(reorder_rate=1.0, reorder_delay_s=50e-6),
+            random.Random(1))
+        link.send(_pkt())
+        sim.run()
+        assert link.impair_reordered == 1
+        # Held back by reorder_delay_s * (1 + U[0,1)) beyond the base delay.
+        assert arrivals[0][0] >= 1e-6 + 50e-6
+
+    def test_expired_impairment_is_transparent(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(drop_rate=1.0, expires_at=1e-6),
+                            random.Random(1))
+        sim.run(until=2e-6)
+        link.send(_pkt())
+        sim.run()
+        assert len(arrivals) == 1
+        assert link.impair_dropped == 0
+
+    def test_clear_impairment(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, arrivals.append)
+        link.set_impairment(DataImpairment(drop_rate=1.0), random.Random(1))
+        link.clear_impairment()
+        link.send(_pkt())
+        sim.run()
+        assert len(arrivals) == 1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            arrivals = []
+            link = Link(sim, lambda p: arrivals.append(sim.now))
+            link.set_impairment(
+                DataImpairment(drop_rate=0.3, dup_rate=0.2,
+                               reorder_rate=0.2, corrupt_rate=0.1),
+                random.Random(seed))
+            for _ in range(50):
+                link.send(_pkt())
+            sim.run()
+            return (arrivals, link.impair_dropped, link.impair_duplicated,
+                    link.impair_reordered, link.impair_corrupted)
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestLossyLinkAccounting:
+    def test_drop_every_counts_packets_and_bytes(self):
+        sim = Simulator()
+        arrivals = []
+        link = LossyLink(sim, arrivals.append, drop_every=2)
+        for _ in range(4):
+            link.send(_pkt(size=100))
+        sim.run()
+        assert link.dropped == 2
+        assert len(arrivals) == 2
+        # Offered accounting covers dropped packets too, on both fields.
+        assert link.tx_packets == 4
+        assert link.tx_bytes == 4 * _pkt(size=100).wire_size
+
+    def test_drop_fn_counts_packets_and_bytes(self):
+        sim = Simulator()
+        arrivals = []
+        link = LossyLink(sim, arrivals.append,
+                         drop_fn=lambda p: p.flow.src_port == 1000)
+        dropped_pkt = _pkt(size=100, sport=1000)
+        kept_pkt = _pkt(size=300, sport=2000)
+        link.send(dropped_pkt)
+        link.send(kept_pkt)
+        sim.run()
+        assert link.dropped == 1
+        assert arrivals == [kept_pkt]
+        assert link.tx_packets == 2
+        assert link.tx_bytes == dropped_pkt.wire_size + kept_pkt.wire_size
