@@ -14,10 +14,15 @@ Three layers (see PROTOCOL.md, "Failure model & chaos testing"):
 """
 
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
-from .monkey import ChaosMonkey, DEFAULT_KIND_WEIGHTS
+from .monkey import (
+    CTRLPLANE_KIND_WEIGHTS,
+    ChaosMonkey,
+    DEFAULT_KIND_WEIGHTS,
+)
 from .plan import (
     FAULT_KINDS,
     IMPAIRED_DELIVERY,
+    ORCH_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -26,16 +31,19 @@ from .soak import (
     ScheduleResult,
     SoakConfig,
     SoakResult,
+    run_ctrlplane_schedule,
     run_impaired_schedule,
     run_schedule,
     run_soak,
 )
 
 __all__ = [
+    "CTRLPLANE_KIND_WEIGHTS",
     "ChaosMonkey",
     "DEFAULT_KIND_WEIGHTS",
     "FAULT_KINDS",
     "IMPAIRED_DELIVERY",
+    "ORCH_FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -45,6 +53,7 @@ __all__ = [
     "ShadowOracle",
     "SoakConfig",
     "SoakResult",
+    "run_ctrlplane_schedule",
     "run_impaired_schedule",
     "run_schedule",
     "run_soak",

@@ -215,6 +215,49 @@ class InvariantAuditor:
                     f"timeline attempt (attempt totals: "
                     f"{[round(t * 1e3, 6) for t in totals]}ms)")
 
+    def check_control_plane(self) -> None:
+        """PROTOCOL.md §9 invariants on a replicated control plane.
+
+        Only active when ``orchestrator`` is an
+        :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`:
+
+        * **at-most-one-lease**: no instant may see two members holding
+          unexpired leases (the single global clock makes this exact);
+        * **one-leader-per-epoch**: the election log never records the
+          same epoch twice (grants are durable and monotonic);
+        * **no-double-recovery**: the chain-side epoch gate never
+          applies two re-steers replacing the *same* dead server --
+          the split-brain signature fencing exists to prevent.
+        """
+        ensemble = self.orchestrator
+        if ensemble is None or not hasattr(ensemble, "election_log"):
+            return
+        valid = ensemble.leaders_with_valid_lease()
+        if len(valid) > 1:
+            self._flag(
+                "dual-leader",
+                f"{len(valid)} members hold unexpired leases: "
+                f"{[f'm{m.index}@{m.epoch}' for m in valid]}")
+        epochs = [epoch for epoch, _ in ensemble.election_log]
+        if len(epochs) != len(set(epochs)):
+            dupes = sorted({e for e in epochs if epochs.count(e) > 1})
+            self._flag(
+                "leader-per-epoch",
+                f"epochs won more than once: {dupes} "
+                f"(log: {ensemble.election_log})")
+        replaced: Dict[str, object] = {}
+        for command in ensemble.gate.applied:
+            if command.kind != "re-steer" or not command.detail:
+                continue
+            # detail = "replace <dead server> with <new server>"
+            old = command.detail.split(" with ")[0]
+            first = replaced.setdefault(old, command)
+            if first is not command and first.epoch != command.epoch:
+                self._flag(
+                    "double-recovery",
+                    f"{old!r} re-steered under epoch {first.epoch} and "
+                    f"again under epoch {command.epoch}")
+
     def check_convergence(self) -> None:
         """Invariant 4 (quiescent): group members hold identical state."""
         for index, mbox in enumerate(self.chain.middleboxes):
@@ -247,9 +290,12 @@ class InvariantAuditor:
     def audit(self, quiescent: bool = False) -> List[InvariantViolation]:
         """Run all applicable checks; returns violations found *this* call."""
         self.audits += 1
-        if self.chain.degraded:
-            return []  # state loss past f is declared, not checked
         before = len(self.violations)
+        # Election safety holds regardless of data-plane degradation --
+        # a degraded chain still must not see two fenced leaders.
+        self.check_control_plane()
+        if self.chain.degraded:
+            return self.violations[before:]
         self.check_log_propagation()
         self.check_release_safety()
         self.check_pruning_bound()

@@ -23,14 +23,25 @@ from ..sim import CancelledError, Interrupt
 
 __all__ = ["ChaosMonkey", "DEFAULT_KIND_WEIGHTS"]
 
-#: Relative odds of each fault kind per arrival.  ``impair-data`` is
-#: not in the default mix: adding a kind would shift every draw and
-#: break seed-compatibility with existing soak schedules -- opt in via
-#: ``kind_weights`` (the impaired soak mode does).
+#: Relative odds of each fault kind per arrival.  ``impair-data`` and
+#: the ``orch-*`` control-plane kinds are not in the default mix:
+#: adding a kind would shift every draw and break seed-compatibility
+#: with existing soak schedules -- opt in via ``kind_weights`` (the
+#: impaired and control-plane soak modes do).
 DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
     "crash": 0.6,
     "crash-during-recovery": 0.2,
     "impair-control": 0.2,
+}
+
+#: The opt-in mix for control-plane soaks (PROTOCOL.md §9): chain
+#: crashes keep recovery work in flight while ensemble members crash,
+#: get partitioned off, and freeze past their leases.
+CTRLPLANE_KIND_WEIGHTS: Dict[str, float] = {
+    "crash": 0.4,
+    "orch-crash": 0.25,
+    "orch-partition": 0.2,
+    "stale-leader-resume": 0.15,
 }
 
 
@@ -50,9 +61,20 @@ class ChaosMonkey:
                  data_dup_rate: float = 0.02,
                  data_reorder_rate: float = 0.02,
                  data_corrupt_rate: float = 0.01,
+                 ensemble=None,
+                 orch_restart_after_s: float = 15e-3,
+                 orch_partition_s: float = 8e-3,
+                 orch_pause_s: float = 12e-3,
                  stream: str = "chaos-monkey"):
         self.chain = chain
         self.orchestrator = orchestrator
+        #: Target of the ``orch-*`` kinds; pass the
+        #: :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`
+        #: (usually also as ``orchestrator`` -- it mirrors the facade).
+        self.ensemble = ensemble
+        self.orch_restart_after_s = orch_restart_after_s
+        self.orch_partition_s = orch_partition_s
+        self.orch_pause_s = orch_pause_s
         self.mean_interval_s = mean_interval_s
         self.kind_weights = dict(kind_weights or DEFAULT_KIND_WEIGHTS)
         self.max_faults = max_faults
@@ -126,6 +148,12 @@ class ChaosMonkey:
                     self._arm_recovery_crash()
                 elif kind == "impair-data":
                     self._do_impair_data()
+                elif kind == "orch-crash":
+                    self._do_orch_crash()
+                elif kind == "orch-partition":
+                    self._do_orch_partition()
+                elif kind == "stale-leader-resume":
+                    self._do_stale_leader_resume()
                 else:
                     self._do_impair()
         except (Interrupt, CancelledError):
@@ -163,6 +191,60 @@ class ChaosMonkey:
                      f"reorder={self.data_reorder_rate} "
                      f"corrupt={self.data_corrupt_rate} "
                      f"for {self.impair_duration_s * 1e3:.1f}ms")
+
+    def _pick_member(self, require_quorum: bool = False):
+        """A random non-crashed, non-paused ensemble member.
+
+        ``require_quorum`` refuses picks that would leave fewer alive
+        members than a majority -- a quorumless ensemble *correctly*
+        freezes (no leader, no commands), which is the one outcome a
+        soak cannot distinguish from a livelock, so the monkey keeps
+        the ensemble electable by construction.
+        """
+        if self.ensemble is None:
+            return None
+        candidates = [m for m in self.ensemble.members
+                      if not m.crashed and not m.paused]
+        if not candidates:
+            return None
+        if require_quorum:
+            majority = self.ensemble.members[0].majority
+            if self.ensemble.alive_members - 1 < majority:
+                return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def _do_orch_crash(self) -> None:
+        member = self._pick_member(require_quorum=True)
+        if member is None:
+            return
+        member.crash()
+        self._record(f"orch-crash m{member.index} "
+                     f"(restart in {self.orch_restart_after_s * 1e3:.1f}ms)")
+        self.chain.sim.schedule_callback(self.orch_restart_after_s,
+                                         member.restart)
+
+    def _do_orch_partition(self) -> None:
+        member = self._pick_member()
+        if member is None:
+            return
+        net = self.chain.net
+        others = [name for name in net.servers if name != member.server_name]
+        token = net.partition([member.server_name], others)
+        self.chain.sim.schedule_callback(self.orch_partition_s,
+                                         lambda: net.heal(token))
+        self._record(f"orch-partition m{member.index} for "
+                     f"{self.orch_partition_s * 1e3:.1f}ms")
+
+    def _do_stale_leader_resume(self) -> None:
+        """Freeze the current leader past its lease; it resumes stale."""
+        if self.ensemble is None:
+            return
+        leader = self.ensemble.leader
+        if leader is None:
+            return  # mid-election: nothing to freeze
+        leader.pause(self.orch_pause_s)
+        self._record(f"pause leader m{leader.index} for "
+                     f"{self.orch_pause_s * 1e3:.1f}ms (stale resume ahead)")
 
     def _arm_recovery_crash(self) -> None:
         """Next recovery that reaches the fetching phase loses a source."""

@@ -28,9 +28,15 @@ __all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS",
 #: duplicate, reorder, and corrupt packets for a window.
 IMPAIRED_DELIVERY = "impair-data"
 
+#: Control-plane fault kinds (PROTOCOL.md §9): kill an ensemble
+#: member, cut one off from everything else, or freeze the leader past
+#: its lease so it wakes up stale.  All three need an
+#: :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`.
+ORCH_FAULT_KINDS = ("orch-crash", "orch-partition", "stale-leader-resume")
+
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control",
-               IMPAIRED_DELIVERY)
+               IMPAIRED_DELIVERY) + ORCH_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,19 @@ class FaultSpec:
         From ``at_s``, chain links drop/duplicate/reorder/corrupt data
         packets for ``duration_s``
         (see :meth:`repro.net.Network.impair_data`).
+    ``kind="orch-crash"``
+        Fail-stop ensemble ``member`` at ``at_s`` (the current leader
+        when ``member`` is None); ``restart_after_s`` optionally brings
+        it back as a follower.
+    ``kind="orch-partition"``
+        From ``at_s``, cut ensemble ``member`` (default: the leader)
+        off from every other server for ``duration_s`` -- it keeps
+        running but can reach neither its peers nor the chain.
+    ``kind="stale-leader-resume"``
+        At ``at_s``, freeze ``member`` (default: the leader) for
+        ``duration_s``.  Freeze it past its lease and it wakes up still
+        believing it leads -- the split-brain scenario epoch fencing
+        must neutralize.
     """
 
     kind: str
@@ -65,6 +84,8 @@ class FaultSpec:
     extra_delay_s: float = 0.0
     delay_jitter_s: float = 0.0
     duration_s: Optional[float] = None
+    member: Optional[int] = None
+    restart_after_s: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -73,6 +94,9 @@ class FaultSpec:
             raise ValueError("crash faults need a position")
         if self.kind == "crash-during-recovery" and self.phase is None:
             raise ValueError("crash-during-recovery faults need a phase")
+        if (self.kind in ("orch-partition", "stale-leader-resume")
+                and self.duration_s is None):
+            raise ValueError(f"{self.kind} faults need a duration_s")
         if self.kind in ("impair-control", IMPAIRED_DELIVERY):
             for name in ("drop_rate", "dup_rate", "reorder_rate",
                          "corrupt_rate"):
@@ -84,6 +108,11 @@ class FaultSpec:
     def describe(self) -> str:
         if self.kind == "crash":
             return f"crash p{self.position} @ {self.at_s * 1e3:.2f}ms"
+        if self.kind in ORCH_FAULT_KINDS:
+            who = "leader" if self.member is None else f"m{self.member}"
+            window = ("" if self.duration_s is None
+                      else f" for {self.duration_s * 1e3:.2f}ms")
+            return f"{self.kind} {who}{window} @ {self.at_s * 1e3:.2f}ms"
         if self.kind == "crash-during-recovery":
             return (f"crash p{self.position} at recovery phase "
                     f"{self.phase!r} (armed @ {self.at_s * 1e3:.2f}ms)")
@@ -133,6 +162,22 @@ class FaultPlan:
             dup_rate=dup_rate, reorder_rate=reorder_rate,
             corrupt_rate=corrupt_rate, duration_s=duration_s))
 
+    def orch_crash(self, at_s: float, member: Optional[int] = None,
+                   restart_after_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(FaultSpec(kind="orch-crash", at_s=at_s,
+                                  member=member,
+                                  restart_after_s=restart_after_s))
+
+    def orch_partition(self, at_s: float, duration_s: float,
+                       member: Optional[int] = None) -> "FaultPlan":
+        return self.add(FaultSpec(kind="orch-partition", at_s=at_s,
+                                  member=member, duration_s=duration_s))
+
+    def stale_leader_resume(self, at_s: float, duration_s: float,
+                            member: Optional[int] = None) -> "FaultPlan":
+        return self.add(FaultSpec(kind="stale-leader-resume", at_s=at_s,
+                                  member=member, duration_s=duration_s))
+
     def describe(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults,
                                                    key=lambda s: s.at_s)]
@@ -142,34 +187,36 @@ class FaultInjector:
     """Arms a :class:`FaultPlan` against a chain + orchestrator."""
 
     def __init__(self, chain: FTCChain, orchestrator: Optional[Orchestrator],
-                 plan: FaultPlan, seed: int = 0):
+                 plan: FaultPlan, seed: int = 0, ensemble=None):
         self.chain = chain
         self.orchestrator = orchestrator
         self.plan = plan
         self.seed = seed
+        #: The :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`
+        #: the ``orch-*`` fault kinds act on.
+        self.ensemble = ensemble
         #: (fire time, human-readable description) per executed fault.
         self.injected: List[Tuple[float, str]] = []
         self._armed_phase_specs: List[FaultSpec] = []
 
     def start(self) -> None:
         sim = self.chain.sim
+        executors = {
+            "crash": self._crash,
+            "crash-during-recovery": self._arm_phase_spec,
+            IMPAIRED_DELIVERY: self._impair_data,
+            "impair-control": self._impair,
+            "orch-crash": self._orch_crash,
+            "orch-partition": self._orch_partition,
+            "stale-leader-resume": self._stale_leader_resume,
+        }
         for spec in self.plan.faults:
-            if spec.kind == "crash":
-                sim.schedule_callback(
-                    max(0.0, spec.at_s - sim.now),
-                    lambda spec=spec: self._crash(spec))
-            elif spec.kind == "crash-during-recovery":
-                sim.schedule_callback(
-                    max(0.0, spec.at_s - sim.now),
-                    lambda spec=spec: self._arm_phase_spec(spec))
-            elif spec.kind == IMPAIRED_DELIVERY:
-                sim.schedule_callback(
-                    max(0.0, spec.at_s - sim.now),
-                    lambda spec=spec: self._impair_data(spec))
-            else:
-                sim.schedule_callback(
-                    max(0.0, spec.at_s - sim.now),
-                    lambda spec=spec: self._impair(spec))
+            if spec.kind in ORCH_FAULT_KINDS and self.ensemble is None:
+                raise ValueError(
+                    f"{spec.kind} faults need an orchestrator ensemble")
+            sim.schedule_callback(
+                max(0.0, spec.at_s - sim.now),
+                lambda spec=spec, run=executors[spec.kind]: run(spec))
 
     # -- executors --------------------------------------------------------------
 
@@ -197,6 +244,45 @@ class FaultInjector:
             reorder_rate=spec.reorder_rate, corrupt_rate=spec.corrupt_rate,
             duration_s=spec.duration_s, seed=self.seed)
         self._record(spec.describe())
+
+    def _member_for(self, spec: FaultSpec):
+        """The targeted ensemble member: explicit index or the leader."""
+        if spec.member is not None:
+            return self.ensemble.members[spec.member]
+        return self.ensemble.leader
+
+    def _orch_crash(self, spec: FaultSpec) -> None:
+        member = self._member_for(spec)
+        if member is None or member.crashed:
+            return  # no current leader / already down: nothing to kill
+        member.crash()
+        self._record(f"orch-crash m{member.index}")
+        if spec.restart_after_s is not None:
+            self.chain.sim.schedule_callback(
+                spec.restart_after_s, member.restart)
+
+    def _orch_partition(self, spec: FaultSpec) -> None:
+        member = self._member_for(spec)
+        if member is None or member.crashed:
+            return
+        net = self.chain.net
+        others = [name for name in net.servers
+                  if name != member.server_name]
+        token = net.partition([member.server_name], others)
+        self.chain.sim.schedule_callback(
+            spec.duration_s, lambda: net.heal(token))
+        self._record(f"orch-partition m{member.index} for "
+                     f"{spec.duration_s * 1e3:.2f}ms")
+
+    def _stale_leader_resume(self, spec: FaultSpec) -> None:
+        member = self._member_for(spec)
+        if member is None or member.crashed or member.paused:
+            return
+        member.pause(spec.duration_s)
+        self._record(f"pause m{member.index} for "
+                     f"{spec.duration_s * 1e3:.2f}ms"
+                     + (" (leader: stale resume ahead)"
+                        if member.is_leader else ""))
 
     def _arm_phase_spec(self, spec: FaultSpec) -> None:
         if self.orchestrator is None:

@@ -18,15 +18,17 @@ from ..core import FTCChain
 from ..core.costs import CostModel
 from ..middlebox import ch_n
 from ..net import TrafficGenerator, balanced_flows
-from ..orchestration import Orchestrator
+from ..orchestration import Orchestrator, OrchestratorEnsemble
+from ..orchestration.election import ElectionConfig
 from ..sim import Simulator
 from ..telemetry import MetricRegistry, Telemetry
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
-from .monkey import ChaosMonkey
+from .monkey import CTRLPLANE_KIND_WEIGHTS, ChaosMonkey
 from .plan import FaultInjector, FaultPlan
 
 __all__ = ["SoakConfig", "ScheduleResult", "SoakResult", "run_schedule",
-           "run_impaired_schedule", "run_soak"]
+           "run_impaired_schedule", "run_ctrlplane_schedule", "run_soak",
+           "CTRLPLANE_ELECTION"]
 
 #: Deterministic cost model: chaos schedules must be a pure function of
 #: the seed, so processing-time jitter is turned off.
@@ -56,6 +58,13 @@ class SoakConfig:
     #: When set, the soak runs :func:`run_impaired_schedule` instead:
     #: reliable links + lossy data plane + exactly-once egress checks.
     impair_data: Optional[Tuple[float, float, float, float]] = None
+    #: Orchestrator replicas.  ``> 1`` runs
+    #: :func:`run_ctrlplane_schedule`: a leader-elected ensemble with
+    #: epoch fencing replaces the single orchestrator (PROTOCOL.md §9).
+    orchestrators: int = 1
+    #: With ``orchestrators > 1``: also let the monkey crash, partition,
+    #: and pause ensemble members (the ``orch-*`` fault kinds).
+    orch_faults: bool = False
 
 
 @dataclass
@@ -80,6 +89,10 @@ class ScheduleResult:
     sent: int = 0
     retransmissions: int = 0
     egress_pids: Optional[List[int]] = None
+    #: Control-plane schedules only (PROTOCOL.md §9): elections won
+    #: across the run and stale commands the epoch gate rejected.
+    elections: int = 0
+    fenced_commands: int = 0
 
     @property
     def ok(self) -> bool:
@@ -115,6 +128,12 @@ class SoakResult:
             f"detected, {sum(s.recoveries for s in self.schedules)} "
             f"recoveries, {len(self.violations)} invariant violations",
         ]
+        elections = sum(s.elections for s in self.schedules)
+        if elections:
+            lines.append(
+                f"  control plane: {elections} elections, "
+                f"{sum(s.fenced_commands for s in self.schedules)} "
+                f"stale commands fenced")
         for schedule in self.schedules:
             if schedule.ok:
                 continue
@@ -264,6 +283,97 @@ def run_impaired_schedule(seed: int, chain_length: int = 2, f: int = 1,
         egress_pids=list(oracle.order))
 
 
+#: Election timing for control-plane soaks: tight enough that a leader
+#: crash fails over well inside a schedule, loose enough that renewal
+#: rounds (bounded by the election retry budget) never starve a
+#: healthy leader's lease.
+CTRLPLANE_ELECTION = ElectionConfig(lease_s=6e-3, renew_every_s=2e-3,
+                                    candidacy_base_s=2e-3)
+
+
+def run_ctrlplane_schedule(seed: int, chain_length: int = 3, f: int = 1,
+                           orchestrators: int = 3, max_faults: int = 4,
+                           duration_s: float = 80e-3, rate_pps: float = 2e4,
+                           heartbeat_interval_s: float = 1e-3,
+                           mean_fault_interval_s: float = 10e-3,
+                           orch_faults: bool = True,
+                           index: int = 0,
+                           telemetry: Optional[Telemetry] = None
+                           ) -> ScheduleResult:
+    """One control-plane chaos schedule (PROTOCOL.md §9).
+
+    A replicated orchestrator ensemble monitors a fresh chain while the
+    monkey mixes chain crashes with ensemble-member crashes, one-member
+    partitions, and leader freezes (stale resumes).  On top of the §4/§5
+    data-plane invariants the auditor proves election safety -- at most
+    one valid lease, one leader per epoch, no double recovery -- and the
+    schedule itself checks that every chain failure was eventually
+    failed over despite the control-plane churn.
+    """
+    sim = Simulator()
+    oracle = ShadowOracle()
+    chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
+                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed,
+                     telemetry=telemetry)
+    chain.start()
+    ensemble = OrchestratorEnsemble(
+        sim, chain, n=orchestrators, election=CTRLPLANE_ELECTION,
+        heartbeat_interval_s=heartbeat_interval_s)
+    ensemble.start()
+    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=ensemble)
+    monkey = ChaosMonkey(chain, ensemble, ensemble=ensemble,
+                         mean_interval_s=mean_fault_interval_s,
+                         max_faults=max_faults,
+                         start_after_s=duration_s * 0.1,
+                         kind_weights=(CTRLPLANE_KIND_WEIGHTS if orch_faults
+                                       else None))
+    monkey.start()
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate_pps,
+                                 flows=balanced_flows(8, 2))
+
+    def periodic_audit():
+        auditor.audit()
+        if sim.now + AUDIT_INTERVAL_S < duration_s:
+            sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+
+    sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+    sim.run(until=duration_s)
+    generator.stop()
+    monkey.stop()
+    # Heal any open cut, then drain: paused members resume (and get
+    # fenced), crashed members restart, a leader re-elects, and any
+    # in-flight recovery finishes -- the drain must outlast a full
+    # lease + candidacy + recovery cycle.
+    chain.net.heal()
+    chain.net.clear_impairment()
+    drain = max(40 * heartbeat_interval_s,
+                CTRLPLANE_ELECTION.lease_s * 5 + 20e-3)
+    sim.run(until=duration_s + drain)
+    auditor.audit(quiescent=True)
+    violations = list(auditor.violations)
+    failed_now = [p for p in range(chain.n_positions)
+                  if chain.server_at(p).failed]
+    if failed_now and not chain.degraded and ensemble.has_quorum:
+        violations.append(InvariantViolation(
+            invariant="missed-failover",
+            detail=f"positions {failed_now} still failed at quiescence "
+                   f"with a live ensemble quorum",
+            at_s=sim.now))
+    ensemble.stop()
+
+    return ScheduleResult(
+        index=index, seed=seed, chain_length=chain_length, f=f,
+        faults=list(monkey.injected), violations=violations,
+        released=oracle.released,
+        failures_detected=len(ensemble.history),
+        recoveries=sum(1 for e in ensemble.history if e.recovered),
+        degraded=chain.degraded,
+        timeline=([] if telemetry is None
+                  else telemetry.timeline.as_dicts()),
+        elections=len(ensemble.election_log),
+        fenced_commands=ensemble.gate.fenced_commands)
+
+
 def run_soak(config: Optional[SoakConfig] = None,
              progress=None) -> SoakResult:
     """Sweep ``config.schedules`` randomized schedules (round-robin over
@@ -285,6 +395,16 @@ def run_soak(config: Optional[SoakConfig] = None,
                 corrupt_rate=corrupt,
                 duration_s=config.duration_s, rate_pps=config.rate_pps,
                 heartbeat_interval_s=config.heartbeat_interval_s,
+                index=index, telemetry=telemetry)
+        elif config.orchestrators > 1:
+            schedule = run_ctrlplane_schedule(
+                seed=seed, chain_length=chain_length, f=f,
+                orchestrators=config.orchestrators,
+                max_faults=config.faults_per_schedule,
+                duration_s=config.duration_s, rate_pps=config.rate_pps,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                mean_fault_interval_s=config.mean_fault_interval_s,
+                orch_faults=config.orch_faults,
                 index=index, telemetry=telemetry)
         else:
             schedule = run_schedule(

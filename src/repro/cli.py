@@ -32,7 +32,7 @@ __all__ = ["main"]
 
 _EXPERIMENTS = ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "fig11", "fig12", "fig13", "ablations", "calibration",
-                "lossy"]
+                "lossy", "ctrlplane"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate a chain under a system")
     _chain_options(run)
+    run.add_argument("--orchestrators", type=int, default=1, metavar="N",
+                     help="replicated control plane: N leader-elected "
+                          "orchestrators with epoch fencing (FTC only; "
+                          "N=1 keeps the single-orchestrator path)")
     run.add_argument("--telemetry", action="store_true",
                      help="collect chain-wide metrics and print the "
                           "telemetry summary (FTC only)")
@@ -116,6 +120,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="soak the data plane instead: impair chain "
                             "links (e.g. drop=0.05,dup=0.02,reorder=0.02,"
                             "corrupt=0.01) and audit exactly-once egress")
+    chaos.add_argument("--orchestrators", type=int, default=1, metavar="N",
+                       help="soak the control plane: N leader-elected "
+                            "orchestrators per schedule (default 1: the "
+                            "classic single-orchestrator soak)")
+    chaos.add_argument("--orch-faults", action="store_true",
+                       dest="orch_faults",
+                       help="with --orchestrators > 1: also crash, "
+                            "partition, and freeze ensemble members")
     return parser
 
 
@@ -160,6 +172,18 @@ def _run_chain(args, telemetry=None):
             reorder_rate=impairment.reorder_rate,
             corrupt_rate=impairment.corrupt_rate, seed=args.seed)
     system.start()
+    ensemble = None
+    if getattr(args, "orchestrators", 1) > 1:
+        if not hasattr(system, "fail_position"):
+            print("--orchestrators requires --system ftc", file=sys.stderr)
+            return None
+        from .chaos.soak import CTRLPLANE_ELECTION
+        from .orchestration import OrchestratorEnsemble
+
+        ensemble = OrchestratorEnsemble(
+            sim, system, n=args.orchestrators, election=CTRLPLANE_ELECTION,
+            telemetry=telemetry)
+        ensemble.start()
     generator = TrafficGenerator(
         sim, system.ingress, rate_pps=args.rate,
         flows=balanced_flows(args.flows, args.threads),
@@ -183,6 +207,8 @@ def _run_chain(args, telemetry=None):
                 telemetry.timeline.record(
                     "fault-injected", [args.fail_position],
                     detail="--fail-at", t=sim.now)
+            if ensemble is not None:
+                return  # the elected leader detects and recovers it
             report = yield sim.process(
                 recover_positions(system, [args.fail_position],
                                   hooks=hooks))
@@ -200,6 +226,22 @@ def _run_chain(args, telemetry=None):
     sim.run(until=args.duration)
     generator.stop()
     sim.run(until=args.duration + 0.5e-3)
+    if ensemble is not None:
+        for event in ensemble.history:
+            if event.report is not None:
+                print(f"[{event.detected_at * 1e3:.2f} ms] leader recovered "
+                      f"positions {event.positions} in "
+                      f"{event.report.total_s * 1e3:.2f} ms")
+            elif event.error:
+                print(f"[{event.detected_at * 1e3:.2f} ms] recovery of "
+                      f"{event.positions} failed: {event.error}")
+        ensemble.stop()
+        leader = ensemble.leader
+        print(f"control plane: {args.orchestrators} orchestrators, "
+              f"{len(ensemble.election_log)} elections, leader "
+              f"{'m%d' % leader.index if leader else 'none'} at epoch "
+              f"{ensemble.max_epoch}, "
+              f"{ensemble.gate.fenced_commands} stale commands fenced")
     return system, generator, egress, middleboxes
 
 
@@ -290,6 +332,15 @@ def _parse_int_list(text: str, option: str) -> List[int]:
 def _cmd_chaos(args) -> int:
     from .chaos import SoakConfig, run_soak
 
+    if args.orchestrators < 1:
+        raise SystemExit("repro chaos: --orchestrators must be >= 1")
+    if args.orch_faults and args.orchestrators < 2:
+        raise SystemExit("repro chaos: --orch-faults needs "
+                         "--orchestrators >= 2 (no ensemble to attack)")
+    if args.impair_data and args.orchestrators > 1:
+        raise SystemExit("repro chaos: --impair-data and --orchestrators "
+                         "are separate soak modes; pick one")
+
     impair_data = None
     if args.impair_data:
         spec = _parse_impairment(args.impair_data, "repro chaos")
@@ -303,12 +354,16 @@ def _cmd_chaos(args) -> int:
         chain_lengths=_parse_int_list(args.lengths, "--lengths"),
         f_values=_parse_int_list(args.f_values, "--f-values"),
         duration_s=args.duration, rate_pps=args.rate,
-        telemetry=args.telemetry, impair_data=impair_data)
+        telemetry=args.telemetry, impair_data=impair_data,
+        orchestrators=args.orchestrators, orch_faults=args.orch_faults)
 
     def progress(schedule):
         status = "ok" if schedule.ok else "FAIL"
         extra = (f"{schedule.retransmissions} retransmitted, "
                  if impair_data else "")
+        if args.orchestrators > 1:
+            extra += (f"{schedule.elections} elections, "
+                      f"{schedule.fenced_commands} fenced, ")
         print(f"  schedule {schedule.index:3d} seed={schedule.seed} "
               f"Ch-{schedule.chain_length} f={schedule.f}: "
               f"{len(schedule.faults)} faults, "

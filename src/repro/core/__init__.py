@@ -10,6 +10,7 @@ times.  Failure injection and recovery are exposed for orchestrators
 from .buffer import Buffer
 from .chain import FTCChain
 from .costs import CostModel, DEFAULT_COSTS
+from .fencing import AppliedCommand, EpochGate, StaleEpochError
 from .depvec import DependencyVector, ProtocolError, ReplicationState
 from .forwarder import Forwarder
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
@@ -25,12 +26,14 @@ from .runtime import CycleCounters, MiddleboxRuntime
 from .scaling import RescaleReport, rescale_position
 
 __all__ = [
+    "AppliedCommand",
     "Buffer",
     "CommitVector",
     "CostModel",
     "CycleCounters",
     "DEFAULT_COSTS",
     "DependencyVector",
+    "EpochGate",
     "FTCChain",
     "Forwarder",
     "MiddleboxRuntime",
@@ -42,6 +45,7 @@ __all__ = [
     "RecoveryReport",
     "Replica",
     "RescaleReport",
+    "StaleEpochError",
     "ReplicationState",
     "UnrecoverableError",
     "recover_positions",

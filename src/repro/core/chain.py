@@ -114,6 +114,10 @@ class FTCChain:
         #: reporting) but state of the affected group(s) is lost.
         self.degraded = False
         self.degraded_reason: Optional[str] = None
+        #: Epoch fence installed by a replicated orchestrator ensemble
+        #: (PROTOCOL.md §9).  ``None`` -- the default -- means commands
+        #: are unfenced; single-orchestrator runs allocate nothing.
+        self.gate = None
 
     # -- construction helpers ------------------------------------------------
 

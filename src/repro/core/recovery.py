@@ -99,7 +99,9 @@ def recover_positions(chain: FTCChain, positions: List[int],
                       init_delay_s: float = 1e-3,
                       reroute_delay_s: float = 0.5e-3,
                       retry_policy: Optional[RetryPolicy] = None,
-                      hooks: Optional[RecoveryHooks] = None):
+                      hooks: Optional[RecoveryHooks] = None,
+                      epoch: Optional[int] = None,
+                      journal: Optional[Callable] = None):
     """Generator (run as a sim process): §5.2 recovery.
 
     Returns a :class:`RecoveryReport`.  ``init_delay_s`` models the
@@ -112,8 +114,19 @@ def recover_positions(chain: FTCChain, positions: List[int],
     exception or interrupt -- frozen sources are thawed and the
     half-spawned replicas are released, leaving the chain exactly as it
     was.
+
+    Under a replicated control plane (PROTOCOL.md §9) the caller passes
+    ``epoch`` and ``journal``: the journal generator is invoked --
+    write-ahead, before the side effect -- at the ``spawn`` and
+    ``re-steer`` steps, replicating the command to a quorum and fencing
+    it by epoch.  A :class:`~repro.core.fencing.StaleEpochError` it
+    raises aborts the attempt through the same exception-safe unwind,
+    and the chain's :class:`~repro.core.fencing.EpochGate` records each
+    committed re-steer so double recovery is auditable.  Both default
+    to ``None``: an unreplicated orchestrator pays nothing.
     """
     sim = chain.sim
+    gate = chain.gate
     policy = retry_policy or DEFAULT_RETRY_POLICY
     rng = chain.streams.stream("recovery-backoff")
     report = RecoveryReport(positions=list(positions))
@@ -130,6 +143,10 @@ def recover_positions(chain: FTCChain, positions: List[int],
         yield sim.timeout(init_delay_s)
         report.initialization_s = sim.now - started
 
+        if journal is not None:
+            # Write-ahead: the spawn command reaches a quorum (and the
+            # epoch fence) before any instance exists.
+            yield from journal("spawn", list(positions))
         new_replicas: Dict[int, Replica] = {}
         for position in positions:
             server = chain._new_server(position)
@@ -218,7 +235,22 @@ def recover_positions(chain: FTCChain, positions: List[int],
         # -- step 3: rerouting (single update after all confirmations, §5.2) ---------
         reroute_started = sim.now
         _fire(hooks, "rerouting", positions)
+        if journal is not None:
+            # Write-ahead: journal the re-steer *before* the route
+            # mutates, so a leader that dies inside the commit loop
+            # leaves a journal a successor can resume from.
+            yield from journal("re-steer", list(positions))
         yield sim.timeout(reroute_delay_s)
+        if gate is not None:
+            # Chain-side fencing, applied atomically before any route
+            # mutation: a stale epoch unwinds the whole attempt (thaw +
+            # release) instead of half-committing.  Each record names
+            # the exact instance replaced, making double recovery (two
+            # epochs both re-steering one server) auditable.
+            for position in positions:
+                gate.apply(epoch, "re-steer", [position],
+                           detail=f"replace {chain.route[position]} with "
+                                  f"{new_servers[position].name}")
         committed = True
         for position in positions:
             # Fence the old instance: a falsely-suspected (still alive)

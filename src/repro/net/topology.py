@@ -114,6 +114,12 @@ class Network:
         self.control_messages = 0
         self.control_drops = 0
         self.control_dups = 0
+        #: Control-plane partition: a tuple of frozensets of server
+        #: names; messages whose src and dst fall in *different* groups
+        #: are silently dropped on either leg.  Servers in no group
+        #: (e.g. replicas spawned after the cut) are unaffected.
+        self._partition: Optional[Tuple[frozenset, ...]] = None
+        self.control_partition_drops = 0
         #: Set by the chain (or a test) to mirror control-plane counters
         #: into a metric registry; NULL_TELEMETRY keeps hooks no-op.
         self.telemetry = NULL_TELEMETRY
@@ -227,6 +233,40 @@ class Network:
     def clear_impairment(self) -> None:
         self._impairment = None
 
+    # -- control-plane partitions -------------------------------------------------
+
+    def partition(self, *groups) -> Tuple[frozenset, ...]:
+        """Partition the control plane into ``groups`` of server names.
+
+        Messages between servers in different groups are dropped on
+        whichever leg crosses the cut -- silence, exactly like a dropped
+        impaired leg, so the retry layer's timeouts absorb it.  Servers
+        not named in any group keep full connectivity (a replica spawned
+        mid-partition is outside the cut).  Returns a token that
+        :meth:`heal` accepts, so overlapping chaos windows only heal
+        their own cut.
+        """
+        token = tuple(frozenset(group) for group in groups)
+        self._partition = token
+        return token
+
+    def heal(self, token: Optional[Tuple[frozenset, ...]] = None) -> None:
+        """Remove the current partition (or only ``token``'s, if given)."""
+        if token is None or self._partition == token:
+            self._partition = None
+
+    def control_blocked(self, src: str, dst: str) -> bool:
+        """True when a control message src -> dst crosses the partition."""
+        if self._partition is None or src == dst:
+            return False
+        src_group = next((i for i, g in enumerate(self._partition)
+                          if src in g), None)
+        dst_group = next((i for i, g in enumerate(self._partition)
+                          if dst in g), None)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
     # -- data-plane impairment ---------------------------------------------------
 
     def impair_data(self, drop_rate: float = 0.0, dup_rate: float = 0.0,
@@ -339,12 +379,20 @@ class Network:
                 # The caller's timeout logic must handle silence.
                 return
             result = handler()
+            if self.control_blocked(dst, src):
+                # The response leg crosses a partition installed since
+                # (or during) the request: the reply never arrives.
+                self.control_partition_drops += 1
+                return
             copies, extra = self._impaired_leg()
             for _ in range(copies):
                 self.sim.schedule_callback(
                     one_way + transfer + extra,
                     lambda: None if done.triggered else done.succeed(result))
 
+        if self.control_blocked(src, dst):
+            self.control_partition_drops += 1
+            return done  # the request leg is cut; silence for the caller
         copies, extra = self._impaired_leg()
         for _ in range(copies):
             self.sim.schedule_callback(one_way + extra, at_destination)

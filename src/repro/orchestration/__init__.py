@@ -1,13 +1,23 @@
 """Orchestration: SDN-controller-style monitoring, placement, recovery."""
 
 from .cloud import CloudNetwork, SAVI_REGIONS, savi_rtt_matrix
+from .election import ElectionConfig, ElectionMember
+from .ensemble import EnsembleMember, OrchestratorEnsemble
+from .journal import JOURNAL_STEPS, CommandJournal, JournalEntry
 from .orchestrator import FailureEvent, Orchestrator
 from .placement import place_chain, validate_isolation
 
 __all__ = [
     "CloudNetwork",
+    "CommandJournal",
+    "ElectionConfig",
+    "ElectionMember",
+    "EnsembleMember",
     "FailureEvent",
+    "JOURNAL_STEPS",
+    "JournalEntry",
     "Orchestrator",
+    "OrchestratorEnsemble",
     "SAVI_REGIONS",
     "place_chain",
     "savi_rtt_matrix",

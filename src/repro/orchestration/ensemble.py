@@ -1,0 +1,373 @@
+"""Replicated orchestrator ensemble (PROTOCOL.md §9).
+
+N orchestrator replicas, each on its own control-plane server, elect a
+leader through :mod:`repro.orchestration.election`; only the leader
+runs the monitor/recover loops.  Every side-effecting command is
+journaled to a quorum (:mod:`repro.orchestration.journal`) and fenced
+by epoch at the chain's :class:`~repro.core.fencing.EpochGate` before
+it takes effect, so:
+
+* a **crashed leader** is replaced after its lease lapses; the new
+  leader quorum-reads the journal, probes every position, and resumes
+  any in-flight recovery idempotently (including a recovery that was
+  mid-fetch while a chain replica was also down);
+* a **partitioned leader** loses its journal quorum on the next
+  command and steps down before it can declare, spawn, or re-steer;
+* a **paused ex-leader** that wakes up re-asserts its old epoch and is
+  fenced the moment a successor exists -- split-brain double recovery
+  is structurally impossible, and every fencing is counted.
+
+With ``n=1`` callers should use a plain :class:`Orchestrator`; the
+CLI's ``--orchestrators 1`` default never constructs this class, so
+single-orchestrator runs allocate no ensemble machinery and stay
+bit-identical with pre-ensemble builds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.chain import FTCChain
+from ..core.fencing import EpochGate, StaleEpochError
+from ..net.retry import reliable_call
+from ..sim import CancelledError, Interrupt, Simulator
+from .election import ElectionConfig, ElectionMember
+from .journal import CommandJournal, JournalEntry
+from .orchestrator import FailureEvent, Orchestrator
+
+__all__ = ["OrchestratorEnsemble", "EnsembleMember"]
+
+
+class EnsembleMember(ElectionMember):
+    """One replica: election state + journal + a leader-only orchestrator."""
+
+    def __init__(self, ensemble: "OrchestratorEnsemble", index: int,
+                 server_name: str, config: ElectionConfig, rng,
+                 **orchestrator_kwargs):
+        super().__init__(ensemble.sim, ensemble.chain.net, index,
+                         server_name, config=config, rng=rng)
+        self.ensemble = ensemble
+        self.journal = CommandJournal()
+        self._seq = 0
+        self._takeover_proc = None
+        self.orch = Orchestrator(
+            ensemble.sim, ensemble.chain,
+            name=f"{ensemble.name}/m{index}",
+            telemetry=ensemble.telemetry, **orchestrator_kwargs)
+        self.orch.home = server_name
+        #: All members share the ensemble's hook list, so chaos hooks
+        #: armed once fire regardless of which member currently leads.
+        self.orch.recovery_hooks = ensemble.recovery_hooks
+        self.orch.on_leadership_lost = self._command_fenced
+
+    # -- journal replication (the orchestrator's command guard) ------------------
+
+    def journal_step(self, step: str, positions) -> object:
+        """Write-ahead journal one command to a quorum; fence by epoch.
+
+        A generator (the orchestrator runs it via ``yield from``).
+        Raises :class:`StaleEpochError` when this member's lease has
+        lapsed, a peer has granted a newer epoch, or no majority acks
+        -- any of which means leadership is gone and the side effect
+        must not happen.
+        """
+        if not self.lease_valid:
+            raise StaleEpochError(
+                f"m{self.index} epoch {self.epoch}: lease expired before "
+                f"{step!r}")
+        epoch = self.epoch
+        self._seq += 1
+        entry = JournalEntry(epoch=epoch, seq=self._seq, step=step,
+                             positions=tuple(positions), t=self.sim.now)
+        self.journal.append(entry)
+        self.ensemble._m_journal.inc()
+        acks, saw_newer = 1, False
+        replications = [self.sim.process(self._replicate(peer, entry))
+                        for peer in self._peers]
+        for replication in replications:
+            outcome = yield replication
+            if outcome == "ok":
+                acks += 1
+            elif outcome == "stale":
+                saw_newer = True
+        if saw_newer:
+            raise StaleEpochError(
+                f"m{self.index} epoch {epoch}: a peer has granted a newer "
+                f"epoch (step {step!r})")
+        if acks < self.majority:
+            raise StaleEpochError(
+                f"m{self.index} epoch {epoch}: journal quorum lost "
+                f"({acks}/{self.majority} acks for {step!r})")
+        # Chain-side fence last: the command is durable, now stamp it.
+        self.ensemble.gate.check(epoch, step, positions)
+
+    def _replicate(self, peer: "EnsembleMember", entry: JournalEntry):
+        result = yield from reliable_call(
+            self.net, self.server_name, peer.server_name,
+            lambda: peer.accept_entry(entry),
+            policy=self.config.retry, payload_bytes=128, response_bytes=64)
+        if not result.ok or result.value is None:
+            return "silent"
+        return result.value
+
+    def accept_entry(self, entry: JournalEntry) -> str:
+        """Peer-side journal append (runs on this member's server)."""
+        if entry.epoch < self.max_granted_epoch:
+            return "stale"
+        self.max_epoch_seen = max(self.max_epoch_seen, entry.epoch)
+        self.journal.append(entry)
+        return "ok"
+
+    # -- leadership transitions ---------------------------------------------------
+
+    def _on_elected(self, epoch: int) -> None:
+        self.ensemble._note_elected(self, epoch)
+        self._takeover_proc = self.sim.process(
+            self._takeover(epoch), name=f"{self.orch.name}/takeover")
+
+    def _takeover(self, epoch: int):
+        """Fence the chain, quorum-read the journal, resume monitoring."""
+        try:
+            try:
+                self.ensemble.gate.check(epoch, "assume-leadership")
+            except StaleEpochError:
+                # Epochs grow monotonically across elections, so this
+                # only fires if a *later* leader won while we were
+                # scheduled; yield gracefully.
+                self.depose("fenced at takeover")
+                return
+            fetches = [self.sim.process(self._fetch_journal(peer))
+                       for peer in self._peers]
+            for fetch in fetches:
+                entries = yield fetch
+                if entries:
+                    self.journal.merge(entries)
+            open_positions = self.journal.open_positions()
+            if not self.is_leader:
+                return  # deposed while reading journals
+            self.orch.epoch = epoch
+            self.orch.command_guard = self.journal_step
+            self.orch.start(epoch=epoch, resume_open=open_positions)
+        except (Interrupt, CancelledError):
+            return
+
+    def _fetch_journal(self, peer: "EnsembleMember"):
+        result = yield from reliable_call(
+            self.net, self.server_name, peer.server_name,
+            lambda: peer.journal.entries(),
+            policy=self.config.retry, payload_bytes=64, response_bytes=512)
+        return result.value if result.ok else None
+
+    def _on_deposed(self, reason: str) -> None:
+        self._stop_leading()
+        self.ensemble._note_deposed(self, reason)
+
+    def _on_paused(self) -> None:
+        # A stalled VM's TCP connections die: the in-flight recovery
+        # attempt unwinds (thaw + release), but the member still
+        # *believes* it leads -- the dangerous half of a pause.
+        self._stop_leading()
+
+    def _on_resume_assert(self, epoch: int) -> None:
+        # The woken ex-leader's first act: re-assert its old epoch
+        # against the chain-side fence.  Raises StaleEpochError (and
+        # counts the fencing) when a successor has moved the fence.
+        self.ensemble.gate.check(epoch, "leader-resume")
+
+    def _on_resumed(self, epoch: int) -> None:
+        self.ensemble._note_resumed(self, epoch)
+        self.orch.epoch = epoch
+        self.orch.command_guard = self.journal_step
+        self.orch.start(epoch=epoch,
+                        resume_open=self.journal.open_positions())
+
+    def _stop_leading(self) -> None:
+        if (self._takeover_proc is not None and self._takeover_proc.is_alive
+                and self._takeover_proc is not self.sim.active_process):
+            self._takeover_proc.interrupt("deposed")
+        self._takeover_proc = None
+        self.orch.stop()
+        self.orch.reset_in_flight()
+
+    def _command_fenced(self, exc: Exception) -> None:
+        """The orchestrator hit a fence: leadership is gone."""
+        self.depose(f"command fenced: {exc}")
+
+    def crash(self) -> None:
+        super().crash()
+        self.ensemble._update_gauges()
+
+    def restart(self) -> None:
+        super().restart()
+        self.ensemble._update_gauges()
+
+
+class OrchestratorEnsemble:
+    """N replicated orchestrators with leader election + epoch fencing.
+
+    Drop-in for :class:`Orchestrator` where chaos tooling is concerned:
+    exposes ``recovering_positions`` / ``lost_positions`` / ``history``
+    / ``recovery_hooks`` / ``telemetry`` as the union over members.
+    """
+
+    def __init__(self, sim: Simulator, chain: FTCChain, n: int = 3,
+                 election: Optional[ElectionConfig] = None,
+                 heartbeat_interval_s: float = 2e-3,
+                 misses_allowed: int = 2,
+                 corroborate_suspects: bool = False,
+                 region: Optional[str] = None,
+                 name: Optional[str] = None, telemetry=None):
+        if n < 2:
+            raise ValueError(
+                "an ensemble needs n >= 2 members; use Orchestrator for "
+                "an unreplicated control plane")
+        self.sim = sim
+        self.chain = chain
+        self.n = n
+        self.name = name or f"{chain.name}-ensemble"
+        self.telemetry = (telemetry if telemetry is not None
+                          else getattr(chain, "telemetry", None))
+        if self.telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+            self.telemetry = NULL_TELEMETRY
+        self.gate = EpochGate(sim, telemetry=self.telemetry)
+        chain.gate = self.gate
+        #: Shared by every member's orchestrator (chaos hooks survive
+        #: leadership changes).
+        self.recovery_hooks: List = []
+        #: ``(epoch, member index)`` per election won, in order -- the
+        #: auditor proves at-most-one-leader-per-epoch from this.
+        self.election_log: List = []
+        registry = self.telemetry.registry
+        self._m_elections = registry.counter("ensemble/elections")
+        self._m_stepdowns = registry.counter("ensemble/stepdowns")
+        self._m_journal = registry.counter("ensemble/journal_appends")
+        self._m_epoch = registry.gauge("ensemble/epoch")
+        self._m_leader = registry.gauge("ensemble/leader")
+        self._m_alive = registry.gauge("ensemble/members_alive")
+        config = election or ElectionConfig()
+        self.members: List[EnsembleMember] = []
+        for index in range(n):
+            server_name = f"{self.name}-orch{index}"
+            server = chain.net.add_server(server_name, n_cores=1)
+            if region is not None:
+                server.region = region
+            rng = chain.streams.stream(f"election-m{index}")
+            member = EnsembleMember(
+                self, index, server_name, config, rng,
+                heartbeat_interval_s=heartbeat_interval_s,
+                misses_allowed=misses_allowed,
+                corroborate_suspects=corroborate_suspects,
+                region=region)
+            self.members.append(member)
+        for member in self.members:
+            member.set_peers(self.members)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        for member in self.members:
+            member.start()
+        self._update_gauges()
+
+    def stop(self) -> None:
+        for member in self.members:
+            member.stop()
+            member.orch.stop()
+
+    # -- election bookkeeping -----------------------------------------------------
+
+    def _note_elected(self, member: EnsembleMember, epoch: int) -> None:
+        self.election_log.append((epoch, member.index))
+        self._m_elections.inc()
+        self.telemetry.timeline.record(
+            "leader-elected", (), detail=f"m{member.index} epoch {epoch}",
+            t=self.sim.now)
+        self._update_gauges()
+
+    def _note_deposed(self, member: EnsembleMember, reason: str) -> None:
+        self._m_stepdowns.inc()
+        self.telemetry.timeline.record(
+            "stepped-down", (),
+            detail=f"m{member.index} epoch {member.epoch}: {reason}",
+            t=self.sim.now)
+        self._update_gauges()
+
+    def _note_resumed(self, member: EnsembleMember, epoch: int) -> None:
+        self.telemetry.timeline.record(
+            "leader-resumed", (), detail=f"m{member.index} epoch {epoch}",
+            t=self.sim.now)
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        leader = self.leader
+        self._m_leader.set(-1 if leader is None else leader.index)
+        self._m_epoch.set(max((m.epoch for m in self.members), default=0))
+        self._m_alive.set(sum(1 for m in self.members if not m.crashed))
+
+    # -- introspection (chaos / auditor / tests) ---------------------------------
+
+    @property
+    def leader(self) -> Optional[EnsembleMember]:
+        """The member currently *acting* as leader, if any."""
+        actives = self.active_leaders()
+        return actives[0] if actives else None
+
+    def active_leaders(self) -> List[EnsembleMember]:
+        """Members that believe they lead and are running (not paused)."""
+        return [m for m in self.members
+                if m.is_leader and not m.crashed and not m.paused]
+
+    def leaders_with_valid_lease(self) -> List[EnsembleMember]:
+        """Members entitled to issue commands right now (<= 1, always)."""
+        return [m for m in self.active_leaders() if m.lease_valid]
+
+    @property
+    def alive_members(self) -> int:
+        return sum(1 for m in self.members if not m.crashed)
+
+    @property
+    def has_quorum(self) -> bool:
+        return self.alive_members >= self.members[0].majority
+
+    @property
+    def max_epoch(self) -> int:
+        return max(self.gate.max_epoch,
+                   max((m.max_epoch_seen for m in self.members), default=0))
+
+    @property
+    def recovering_positions(self) -> Set[int]:
+        out: Set[int] = set()
+        for member in self.members:
+            out |= member.orch.recovering_positions
+        return out
+
+    @property
+    def lost_positions(self) -> Set[int]:
+        out: Set[int] = set()
+        for member in self.members:
+            out |= member.orch.lost_positions
+        return out
+
+    @property
+    def history(self) -> List[FailureEvent]:
+        events = [e for m in self.members for e in m.orch.history]
+        return sorted(events, key=lambda e: e.detected_at)
+
+    @property
+    def heartbeats_sent(self) -> int:
+        return sum(m.orch.heartbeats_sent for m in self.members)
+
+    @property
+    def control_retries(self) -> int:
+        return sum(m.orch.control_retries for m in self.members)
+
+    @property
+    def suspects_cleared(self) -> int:
+        return sum(m.orch.suspects_cleared for m in self.members)
+
+    def __repr__(self):
+        leader = self.leader
+        who = f"m{leader.index}@{leader.epoch}" if leader else "none"
+        return (f"<OrchestratorEnsemble n={self.n} leader={who} "
+                f"alive={self.alive_members}>")

@@ -25,9 +25,10 @@ the error, meters keep reporting) instead of killing the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.chain import FTCChain
+from ..core.fencing import StaleEpochError
 from ..core.recovery import (
     RecoveryError,
     RecoveryReport,
@@ -105,6 +106,8 @@ class Orchestrator:
         self._m_recoveries = registry.counter("orch/recoveries")
         self._m_abandoned = registry.counter("orch/abandoned")
         self._m_cleared = registry.counter("orch/suspects_cleared")
+        self._m_cleared_self = registry.counter("orch/suspects_cleared_self")
+        self._m_resumed = registry.counter("orch/resumed_positions")
         #: Two quick probes per round, fitting the classic 0.8*interval
         #: budget; no jitter so detection-delay bounds stay deterministic.
         self.heartbeat_retry = heartbeat_retry or RetryPolicy(
@@ -121,6 +124,25 @@ class Orchestrator:
         #: (fig13 measures it), so clean runs stay bit-identical.
         self.corroborate_suspects = corroborate_suspects
         self.suspects_cleared = 0
+        #: Suspects cleared by a *self-probe* (no alive witness existed,
+        #: so the second opinion rode the suspect's own control path) --
+        #: counted apart because it is a strictly weaker signal.
+        self.suspects_cleared_self = 0
+        #: Control-plane replication (PROTOCOL.md §9).  An ensemble
+        #: member sets ``epoch`` + ``command_guard`` when this
+        #: orchestrator wins an election: the guard is a generator
+        #: called as ``yield from command_guard(step, positions)``
+        #: before every side-effecting command; it journals the step to
+        #: a quorum and raises :class:`StaleEpochError` if this leader
+        #: has been fenced.  All three default to off, so a standalone
+        #: orchestrator runs the exact pre-ensemble code path.
+        self.epoch: Optional[int] = None
+        self.command_guard = None
+        self.on_leadership_lost: Optional[Callable[[Exception], None]] = None
+        #: Server the probes originate from (an ensemble member's own
+        #: server, so partitions isolate its heartbeats too).  ``None``
+        #: keeps the legacy in-region probe source.
+        self.home: Optional[str] = None
         #: Observers called as ``hook(phase, positions)`` on every
         #: recovery phase -- the chaos subsystem injects
         #: failures-during-recovery through these.
@@ -140,17 +162,61 @@ class Orchestrator:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def start(self) -> None:
+    def start(self, epoch: Optional[int] = None,
+              resume_open: Optional[Set[int]] = None) -> None:
+        """Begin monitoring.
+
+        ``epoch`` stamps every subsequent command (ensemble leaders);
+        ``resume_open`` -- positions the replicated journal shows as
+        declared-but-uncommitted -- triggers one authoritative probe
+        round first, so a new leader re-detects immediately and resumes
+        the previous leader's in-flight recovery idempotently.
+        """
         self._stopping = False
-        self._process = self.sim.process(self._monitor_loop(), name=self.name)
+        if epoch is not None:
+            self.epoch = epoch
+        if resume_open is not None:
+            # A fresh leadership term: recovery attempts of the previous
+            # term were aborted, so rebuild the in-flight bookkeeping.
+            self._recovering_positions.clear()
+            self._open_events = []
+            self._recovery_driver = None
+            self._recovery_inner = None
+        self._process = self.sim.process(
+            self._monitor_loop(resume_open=resume_open), name=self.name)
+
+    def reset_in_flight(self) -> None:
+        """Forget in-flight recovery bookkeeping.
+
+        A deposed ensemble member's running attempt was aborted; its
+        successor re-detects and re-drives, so stale entries here must
+        not leak into ``recovering_positions`` unions.
+        """
+        self._recovering_positions.clear()
+        self._open_events = []
+        self._recovery_driver = None
+        self._recovery_inner = None
 
     def stop(self) -> None:
         self._stopping = True
-        if self._process is not None and self._process.is_alive:
-            self._process.interrupt("stopped")
+        # stop() can re-enter from inside one of these very processes
+        # (a fenced command deposes the leader, which stops its
+        # orchestrator); the active process exits on its own and must
+        # not be interrupted mid-stack.
+        active = self.sim.active_process
+        for process in (self._process, self._recovery_inner,
+                        self._recovery_driver):
+            if process is None or not process.is_alive:
+                continue
+            if process is active:
+                # Deliver the interrupt at its next yield instead --
+                # the wrapper below absorbs it once _stopping is set.
+                self.sim.schedule_callback(
+                    0.0, lambda p=process: (p.interrupt("stopped")
+                                            if p.is_alive else None))
+            else:
+                process.interrupt("stopped")
         self._process = None
-        if self._recovery_inner is not None and self._recovery_inner.is_alive:
-            self._recovery_inner.interrupt("stopped")
 
     # -- introspection (chaos / tests) -------------------------------------------------
 
@@ -188,12 +254,16 @@ class Orchestrator:
 
     # -- monitoring ----------------------------------------------------------------------
 
+    def _probe_src(self, position: int) -> str:
+        """Where probes originate: the ensemble member's server, if any."""
+        return self.home or self.chain.route[position]
+
     def _ping(self, position: int):
         """One heartbeat: an RPC that only an alive replica answers."""
         server = self.chain.server_at(position)
         self.heartbeats_sent += 1
         result = yield from reliable_call(
-            self.chain.net, self.chain.route[position],
+            self.chain.net, self._probe_src(position),
             self.chain.route[position], lambda: not server.failed,
             policy=self.heartbeat_retry, payload_bytes=64, response_bytes=64)
         self.control_retries += result.retries
@@ -206,9 +276,16 @@ class Orchestrator:
                 self.telemetry.timeline.record("suspected", [position],
                                                t=self.sim.now)
 
-    def _witness_for(self, position: int) -> Optional[int]:
-        """The nearest alive position to probe a suspect from."""
-        skip = self._recovering_positions | self._lost_positions | {position}
+    def _witness_for(self, position: int,
+                     batch: Sequence[int] = ()) -> Optional[int]:
+        """The nearest alive position to probe a suspect from.
+
+        ``batch`` carries the round's other suspects: a co-suspect has
+        by definition just missed its own heartbeats, so routing the
+        second opinion through it would corroborate nothing.
+        """
+        skip = (self._recovering_positions | self._lost_positions |
+                set(batch) | {position})
         candidates = [p for p in range(self.chain.n_positions)
                       if p not in skip and not self.chain.server_at(p).failed]
         if not candidates:
@@ -222,14 +299,17 @@ class Orchestrator:
         path eating packets; a second opinion over a different source
         path with the patient (backed-off) recovery policy can.  A
         suspect that answers is cleared -- its misses reset -- and no
-        failover happens.
+        failover happens.  With no alive witness left the probe falls
+        back to the suspect's own control path (a *self-probe*): still
+        worth the retry budget, but recorded and counted separately
+        because it exercises the very path that went silent.
         """
         confirmed: List[int] = []
         for position in suspects:
-            witness = self._witness_for(position)
+            witness = self._witness_for(position, batch=suspects)
             server = self.chain.server_at(position)
             src = (self.chain.route[witness] if witness is not None
-                   else self.chain.route[position])
+                   else self._probe_src(position))
             result = yield from reliable_call(
                 self.chain.net, src, self.chain.route[position],
                 lambda server=server: not server.failed,
@@ -241,18 +321,25 @@ class Orchestrator:
                 self._last_seen_alive[position] = self.sim.now
                 self.suspects_cleared += 1
                 self._m_cleared.inc()
+                if witness is None:
+                    self.suspects_cleared_self += 1
+                    self._m_cleared_self.inc()
                 self.telemetry.timeline.record(
                     "suspect-cleared", [position],
-                    detail=f"witness p{witness}", t=self.sim.now)
+                    detail=(f"witness p{witness}" if witness is not None
+                            else f"self-probe via {src}"),
+                    t=self.sim.now)
             else:
                 confirmed.append(position)
         return confirmed
 
-    def _monitor_loop(self):
+    def _monitor_loop(self, resume_open: Optional[Set[int]] = None):
         for position in range(self.chain.n_positions):
             self._misses[position] = 0
             self._last_seen_alive[position] = self.sim.now
         try:
+            if resume_open is not None:
+                yield from self._resume_probe(resume_open)
             while True:
                 yield self.sim.timeout(self.heartbeat_interval_s)
                 skip = self._recovering_positions | self._lost_positions
@@ -268,14 +355,74 @@ class Orchestrator:
                 if failed and self.corroborate_suspects:
                     failed = yield from self._corroborate(failed)
                 if failed:
-                    self._declare_failed(failed)
+                    yield from self._declare_failed(failed)
+        except StaleEpochError as exc:
+            self._leadership_lost(exc)
+            return
         except (Interrupt, CancelledError):
             return
 
+    def _resume_probe(self, open_positions: Set[int]):
+        """New-leader takeover: rebuild monitor state authoritatively.
+
+        One patient probe round over every non-lost position decides
+        who is actually dead *now*; journal-open positions that answer
+        were already recovered by the previous leader (its re-steer
+        committed before it died) and are simply adopted.  The dead are
+        declared immediately -- with this leader's epoch -- which
+        resumes any in-flight recovery idempotently.
+        """
+        active = [p for p in range(self.chain.n_positions)
+                  if p not in self._lost_positions]
+        probes = [self.sim.process(self._probe_once(p)) for p in active]
+        for probe in probes:
+            yield probe
+        dead = [p for p in active if self._misses.get(p, 0) > 0]
+        for position in sorted(open_positions):
+            if position in dead:
+                self._m_resumed.inc()
+                self.telemetry.timeline.record(
+                    "journal-replayed", [position],
+                    detail="resuming in-flight recovery", t=self.sim.now)
+            else:
+                self.telemetry.timeline.record(
+                    "journal-replayed", [position],
+                    detail="already recovered", t=self.sim.now)
+        if dead:
+            yield from self._declare_failed(dead)
+
+    def _probe_once(self, position: int):
+        """One patient (recovery-policy) aliveness probe."""
+        server = self.chain.server_at(position)
+        result = yield from reliable_call(
+            self.chain.net, self._probe_src(position),
+            self.chain.route[position],
+            lambda server=server: not server.failed,
+            policy=self.recovery_retry, payload_bytes=64, response_bytes=64)
+        self.control_retries += result.retries
+        if result.ok and result.value:
+            self._misses[position] = 0
+            self._last_seen_alive[position] = self.sim.now
+        else:
+            self._misses[position] = self.misses_allowed + 1
+
+    def _leadership_lost(self, exc: Exception) -> None:
+        """A command was fenced: this orchestrator is a stale leader."""
+        self._stopping = True
+        if self.on_leadership_lost is not None:
+            self.on_leadership_lost(exc)
+
     # -- recovery coordination ---------------------------------------------------------
 
-    def _declare_failed(self, positions: List[int]) -> None:
-        """Open a failure event and (re-)drive recovery for the union."""
+    def _declare_failed(self, positions: List[int]):
+        """Open a failure event and (re-)drive recovery for the union.
+
+        A generator: when a ``command_guard`` is installed the
+        declaration is journaled to a quorum first and fenced by epoch
+        (raising :class:`StaleEpochError` if leadership was lost).
+        """
+        if self.command_guard is not None:
+            yield from self.command_guard("declare-failed", positions)
         detection_delay = max(
             self.sim.now - self._last_seen_alive[p] for p in positions)
         event = FailureEvent(positions=list(positions),
@@ -308,15 +455,15 @@ class Orchestrator:
                 attempts += 1
                 for event in self._open_events:
                     event.recovery_attempts += 1
-                inner = self.sim.process(recover_positions(
-                    self.chain, positions,
-                    init_delay_s=self.init_delay_for(positions),
-                    reroute_delay_s=REROUTE_DELAY_S,
-                    retry_policy=self.recovery_retry,
-                    hooks=self._fire_recovery_hooks))
+                inner = self.sim.process(self._attempt(positions))
                 self._recovery_inner = inner
                 try:
                     report = yield inner
+                except StaleEpochError as exc:
+                    # A newer leader took over mid-recovery; the inner
+                    # attempt already unwound (thaw + release).
+                    self._leadership_lost(exc)
+                    return
                 except Interrupt:
                     if self._stopping:
                         return
@@ -333,10 +480,16 @@ class Orchestrator:
                             event.error = "false suspicion cleared by re-probe"
                         self._open_events = []
                         return
+                    if not (yield from self._guard_step("abandoned",
+                                                        positions)):
+                        return
                     self._abandon(positions, exc)
                     return
                 except RecoveryError as exc:
                     if attempts >= self.max_recovery_attempts:
+                        if not (yield from self._guard_step("abandoned",
+                                                            positions)):
+                            return
                         self._abandon(positions, exc)
                         return
                     # A source died (or the control plane is impaired)
@@ -344,6 +497,8 @@ class Orchestrator:
                     # to spot new corpses, then re-enter.
                     yield self.sim.timeout(self.heartbeat_interval_s)
                     continue
+                if not (yield from self._guard_step("committed", positions)):
+                    return
                 self.control_retries += report.control_retries
                 for position in positions:
                     self._misses[position] = 0
@@ -367,6 +522,45 @@ class Orchestrator:
             self._recovery_inner = None
             self._recovery_driver = None
 
+    def _attempt(self, positions: List[int]):
+        """One recovery attempt, orphan-safe.
+
+        Teardown can start from *inside* this very process (a chaos
+        hook crashes the leader, which deposes it, which calls
+        ``stop()`` while this attempt is the active process).  The
+        driver is then already dead, so any exception escaping here
+        would hit the simulator undefused; once ``_stopping`` is set,
+        absorb the unwind -- ``recover_positions``'s own finally has
+        already thawed the chain and released the attempt.
+        """
+        try:
+            return (yield from recover_positions(
+                self.chain, positions,
+                init_delay_s=self.init_delay_for(positions),
+                reroute_delay_s=REROUTE_DELAY_S,
+                retry_policy=self.recovery_retry,
+                hooks=self._fire_recovery_hooks,
+                epoch=self.epoch, journal=self.command_guard))
+        except (StaleEpochError, Interrupt, CancelledError):
+            if self._stopping:
+                return None
+            raise
+
+    def _guard_step(self, step: str, positions: List[int]):
+        """Journal one recovery milestone through the command guard.
+
+        Returns True to proceed; False -- after declaring leadership
+        lost -- when the step was fenced by a newer epoch.
+        """
+        if self.command_guard is None:
+            return True
+        try:
+            yield from self.command_guard(step, positions)
+        except StaleEpochError as exc:
+            self._leadership_lost(exc)
+            return False
+        return True
+
     def _reprobe_suspects(self):
         """Re-ping every suspected position; un-suspect the live ones.
 
@@ -377,7 +571,7 @@ class Orchestrator:
         for position in sorted(self._recovering_positions):
             server = self.chain.server_at(position)
             result = yield from reliable_call(
-                self.chain.net, self.chain.route[position],
+                self.chain.net, self._probe_src(position),
                 self.chain.route[position],
                 lambda server=server: not server.failed,
                 policy=self.recovery_retry, payload_bytes=64,

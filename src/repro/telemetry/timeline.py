@@ -31,6 +31,9 @@ TIMELINE_EVENT_KINDS = (
     "fault-injected", "suspected", "suspect-cleared", "confirmed",
     "initializing", "spawned", "fetching", "fetched",
     "rerouting", "committed", "abandoned",
+    # Control-plane replication events (PROTOCOL.md §9).
+    "leader-elected", "stepped-down", "leader-resumed", "fenced",
+    "journal-replayed",
 )
 
 #: The per-phase duration names of one attempt (Fig 13's columns).

@@ -1,0 +1,163 @@
+"""Lease-based leader election: safety and liveness (PROTOCOL.md §9)."""
+
+from repro.orchestration import CloudNetwork, ElectionConfig, ElectionMember
+from repro.sim import RandomStreams, Simulator
+
+CFG = ElectionConfig(lease_s=6e-3, renew_every_s=2e-3, candidacy_base_s=2e-3)
+
+
+def _members(sim, n=3, seed=0, config=CFG):
+    net = CloudNetwork(sim, rtt_jitter_frac=0.0, seed=seed)
+    streams = RandomStreams(seed)
+    members = []
+    for i in range(n):
+        net.add_server(f"orch{i}", n_cores=1)
+        members.append(ElectionMember(sim, net, i, f"orch{i}", config,
+                                      rng=streams.stream(f"m{i}")))
+    for member in members:
+        member.set_peers(members)
+    for member in members:
+        member.start()
+    return net, members
+
+
+def _leaders(members):
+    return [m for m in members if m.is_leader and not m.crashed
+            and not m.paused]
+
+
+def _valid_leases(members):
+    return [m for m in members if m.lease_valid and not m.crashed]
+
+
+class TestVoteHandlers:
+    def test_grant_is_durable_and_single_per_epoch(self):
+        sim = Simulator()
+        _, members = _members(sim, n=3)
+        voter = members[0]
+        assert voter.handle_vote(5, candidate=1) == ("grant", 5)
+        # Same epoch, different candidate: the durable grant refuses.
+        assert voter.handle_vote(5, candidate=2)[0] == "reject"
+        # Older epoch: refused even by a fresh candidate.
+        assert voter.handle_vote(4, candidate=2)[0] == "reject"
+
+    def test_live_lease_blocks_other_candidates(self):
+        sim = Simulator()
+        _, members = _members(sim, n=3)
+        voter = members[0]
+        voter.handle_vote(1, candidate=1)
+        assert voter.handle_vote(2, candidate=2)[0] == "reject"
+        # The original leader may advance its own epoch.
+        assert voter.handle_vote(2, candidate=1)[0] == "grant"
+
+    def test_renew_rejects_stale_epoch(self):
+        sim = Simulator()
+        _, members = _members(sim, n=3)
+        voter = members[0]
+        voter.handle_vote(3, candidate=1)
+        assert voter.handle_renew(2, leader_id=0) == ("reject", 3)
+        assert voter.handle_renew(3, leader_id=1) == ("ack", 3)
+
+
+class TestElection:
+    def test_exactly_one_leader_emerges(self):
+        sim = Simulator()
+        _, members = _members(sim)
+        sim.run(until=0.03)
+        assert len(_leaders(members)) == 1
+        assert len(_valid_leases(members)) == 1
+        assert _leaders(members)[0].epoch >= 1
+
+    def test_at_most_one_valid_lease_at_all_times(self):
+        sim = Simulator()
+        _, members = _members(sim)
+        samples = []
+
+        def sample():
+            samples.append(len(_valid_leases(members)))
+            if sim.now < 0.058:
+                sim.schedule_callback(0.5e-3, sample)
+
+        sim.schedule_callback(0.5e-3, sample)
+        crashed = {}
+
+        def crash_leader():
+            leaders = _leaders(members)
+            if leaders:
+                crashed["m"] = leaders[0]
+                leaders[0].crash()
+                sim.schedule_callback(10e-3, leaders[0].restart)
+
+        sim.schedule_callback(0.02, crash_leader)
+        sim.run(until=0.06)
+        assert samples and max(samples) <= 1
+
+    def test_leader_crash_elects_successor_with_higher_epoch(self):
+        sim = Simulator()
+        _, members = _members(sim)
+        state = {}
+
+        def crash_leader():
+            leader = _leaders(members)[0]
+            state["old"] = leader
+            state["epoch"] = leader.epoch
+            leader.crash()
+
+        sim.schedule_callback(0.02, crash_leader)
+        sim.run(until=0.06)
+        successor = _leaders(members)[0]
+        assert successor is not state["old"]
+        assert successor.epoch > state["epoch"]
+
+    def test_partitioned_leader_loses_lease(self):
+        sim = Simulator()
+        net, members = _members(sim)
+        state = {}
+
+        def cut_leader():
+            leader = _leaders(members)[0]
+            state["old"] = leader
+            others = [m.server_name for m in members if m is not leader]
+            state["token"] = net.partition([leader.server_name], others)
+
+        sim.schedule_callback(0.02, cut_leader)
+        sim.schedule_callback(0.05, lambda: net.heal(state["token"]))
+        sim.run(until=0.08)
+        leaders = _leaders(members)
+        assert len(leaders) == 1
+        assert leaders[0] is not state["old"] or leaders[0].epoch > 1
+        assert len(_valid_leases(members)) <= 1
+
+    def test_short_pause_resumes_leadership_same_epoch(self):
+        sim = Simulator()
+        _, members = _members(sim)
+        state = {}
+
+        def pause_leader():
+            leader = _leaders(members)[0]
+            state["old"] = leader
+            state["epoch"] = leader.epoch
+            leader.pause(1.5e-3)  # well inside the lease
+
+        sim.schedule_callback(0.02, pause_leader)
+        sim.run(until=0.05)
+        leader = _leaders(members)[0]
+        assert leader is state["old"]
+        assert leader.epoch == state["epoch"]
+
+    def test_long_pause_deposes_stale_leader(self):
+        sim = Simulator()
+        _, members = _members(sim)
+        state = {}
+
+        def pause_leader():
+            leader = _leaders(members)[0]
+            state["old"] = leader
+            leader.pause(0.025)  # far past the lease
+
+        sim.schedule_callback(0.02, pause_leader)
+        sim.run(until=0.08)
+        leaders = _leaders(members)
+        assert len(leaders) == 1
+        assert leaders[0] is not state["old"]
+        assert not state["old"].is_leader

@@ -1,0 +1,162 @@
+"""Property tests for election safety (PROTOCOL.md §9).
+
+Hypothesis drives randomized fault scripts -- leader crashes, pauses,
+and one-member partitions at arbitrary instants -- and checks the two
+safety properties the replicated control plane rests on:
+
+* **at most one leader per epoch**, ever (grants are durable and
+  monotonic, so an epoch can never be won twice);
+* **at most one unexpired lease at any instant** (single global sim
+  clock), sampled on a fine grid throughout the run;
+
+and, end-to-end on a real chain, **no double recovery**: a single
+data-plane failure is never re-steered twice under different epochs,
+no matter when the leader dies or freezes relative to the recovery.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import FTCChain
+from repro.core.costs import CostModel
+from repro.metrics import EgressRecorder
+from repro.middlebox import ch_n
+from repro.orchestration import (
+    CloudNetwork,
+    ElectionConfig,
+    ElectionMember,
+    OrchestratorEnsemble,
+    place_chain,
+)
+from repro.sim import RandomStreams, Simulator
+from repro.telemetry import Telemetry
+
+COSTS = CostModel(cycle_jitter_frac=0.0)
+CFG = ElectionConfig(lease_s=6e-3, renew_every_s=2e-3, candidacy_base_s=2e-3)
+
+#: One scripted control-plane fault: (kind, at_s, duration_s).
+FAULTS = st.lists(
+    st.tuples(st.sampled_from(["crash", "pause", "partition"]),
+              st.floats(min_value=5e-3, max_value=45e-3),
+              st.floats(min_value=2e-3, max_value=20e-3)),
+    min_size=1, max_size=3)
+
+SLOW = settings(deadline=None, max_examples=12,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class _Recorder(ElectionMember):
+    """Member that logs every election win into a shared list."""
+
+    def __init__(self, log, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._log = log
+
+    def _on_elected(self, epoch):
+        self._log.append((epoch, self.index))
+
+
+def _election_only(sim, seed, log):
+    net = CloudNetwork(sim, rtt_jitter_frac=0.0, seed=seed)
+    streams = RandomStreams(seed)
+    members = []
+    for i in range(3):
+        net.add_server(f"orch{i}", n_cores=1)
+        members.append(_Recorder(log, sim, net, i, f"orch{i}", CFG,
+                                 rng=streams.stream(f"m{i}")))
+    for member in members:
+        member.set_peers(members)
+    for member in members:
+        member.start()
+    return net, members
+
+
+def _apply_fault(sim, net, members, kind, duration_s):
+    leaders = [m for m in members if m.is_leader and not m.crashed
+               and not m.paused]
+    target = leaders[0] if leaders else members[0]
+    if kind == "crash":
+        if not target.crashed:
+            target.crash()
+            sim.schedule_callback(duration_s, target.restart)
+    elif kind == "pause":
+        target.pause(duration_s)
+    else:
+        others = [m.server_name for m in members if m is not target]
+        token = net.partition([target.server_name], others)
+        sim.schedule_callback(duration_s, lambda: net.heal(token))
+
+
+@given(faults=FAULTS, seed=st.integers(min_value=0, max_value=2**16))
+@SLOW
+def test_election_safety_under_fault_scripts(faults, seed):
+    sim = Simulator()
+    log = []
+    net, members = _election_only(sim, seed, log)
+    lease_samples = []
+
+    def sample():
+        alive = [m for m in members if m.lease_valid and not m.crashed]
+        lease_samples.append(len(alive))
+        if sim.now < 0.078:
+            sim.schedule_callback(0.4e-3, sample)
+
+    sim.schedule_callback(0.4e-3, sample)
+    for kind, at_s, duration_s in faults:
+        sim.schedule_callback(
+            at_s, lambda k=kind, d=duration_s: _apply_fault(
+                sim, net, members, k, d))
+    sim.run(until=0.08)
+    epochs = [epoch for epoch, _ in log]
+    assert len(epochs) == len(set(epochs)), f"epoch won twice: {log}"
+    assert max(lease_samples, default=0) <= 1, \
+        f"dual lease observed: {max(lease_samples)}"
+
+
+@given(fault_kind=st.sampled_from(["crash", "pause"]),
+       delay_s=st.floats(min_value=0.0, max_value=8e-3),
+       seed=st.integers(min_value=0, max_value=255))
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_no_double_recovery_whenever_leader_dies(fault_kind, delay_s, seed):
+    """One chain failure, one leader fault at a random offset: the
+    epoch gate must never apply two re-steers for the same server."""
+    sim = Simulator()
+    net = CloudNetwork(sim, hop_delay_s=COSTS.hop_delay_s,
+                       bandwidth_bps=COSTS.bandwidth_bps,
+                       rtt_jitter_frac=0.0, seed=seed)
+    egress = EgressRecorder(sim)
+    chain = FTCChain(sim, ch_n(3, n_threads=2), f=1, deliver=egress,
+                     costs=COSTS, net=net, n_threads=2, seed=seed,
+                     telemetry=Telemetry(max_trace_events=0))
+    place_chain(chain, ["core", "core", "core"])
+    chain.start()
+    ensemble = OrchestratorEnsemble(sim, chain, n=3, election=CFG,
+                                    region="core")
+    ensemble.start()
+    t_fail = 15e-3
+    sim.schedule_callback(t_fail, lambda: chain.fail_position(1))
+
+    def fault_leader():
+        leader = ensemble.leader
+        if leader is None:
+            return
+        if fault_kind == "crash":
+            leader.crash()
+            sim.schedule_callback(20e-3, leader.restart)
+        else:
+            leader.pause(20e-3)
+
+    sim.schedule_callback(t_fail + delay_s, fault_leader)
+    sim.run(until=0.12)
+    replaced = {}
+    for command in ensemble.gate.applied:
+        if command.kind != "re-steer" or not command.detail:
+            continue
+        old = command.detail.split(" with ")[0]
+        first = replaced.setdefault(old, command)
+        assert first is command or first.epoch == command.epoch, (
+            f"{old} re-steered under epochs {first.epoch} and "
+            f"{command.epoch}")
+    epochs = [epoch for epoch, _ in ensemble.election_log]
+    assert len(epochs) == len(set(epochs))
+    assert not chain.server_at(1).failed or not ensemble.has_quorum
