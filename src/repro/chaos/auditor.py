@@ -31,7 +31,7 @@ legitimately in flux) and a chain that has declared degraded mode
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..core.chain import FTCChain
 from ..middlebox.monitor import Monitor
@@ -42,14 +42,31 @@ __all__ = ["InvariantViolation", "ShadowOracle", "InvariantAuditor"]
 
 @dataclass(frozen=True)
 class InvariantViolation:
-    """One observed violation of a protocol invariant."""
+    """One observed violation of a protocol invariant.
+
+    ``context`` makes the violation self-describing wherever it
+    surfaces (CI logs, flight dumps): the seed, virtual time, and chain
+    configuration needed to reproduce the run that tripped it.  The
+    dataclass stays frozen; the context dict is carried by reference
+    and never hashed.
+    """
 
     invariant: str
     detail: str
     at_s: float
+    context: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"invariant": self.invariant, "detail": self.detail,
+                "at_s": self.at_s, "context": dict(self.context or {})}
 
     def __str__(self):
-        return f"[{self.at_s * 1e3:.3f}ms] {self.invariant}: {self.detail}"
+        base = f"[{self.at_s * 1e3:.3f}ms] {self.invariant}: {self.detail}"
+        if self.context:
+            ctx = " ".join(f"{key}={value}"
+                           for key, value in sorted(self.context.items()))
+            return f"{base} ({ctx})"
+        return base
 
 
 class ShadowOracle:
@@ -94,18 +111,33 @@ class InvariantAuditor:
     """Checks the §4/§5 invariants on a live chain."""
 
     def __init__(self, chain: FTCChain, oracle: Optional[ShadowOracle] = None,
-                 orchestrator=None):
+                 orchestrator=None, context: Optional[Dict[str, Any]] = None):
         self.chain = chain
         self.oracle = oracle
         self.orchestrator = orchestrator
+        #: Run provenance (seed, chain config, schedule index) stamped
+        #: onto every violation so a bare assertion message in a CI log
+        #: is enough to reproduce the failing run.
+        self.context: Dict[str, Any] = dict(context or {})
         self.violations: List[InvariantViolation] = []
         self.audits = 0
 
     # -- helpers -----------------------------------------------------------------
 
     def _flag(self, invariant: str, detail: str) -> None:
-        self.violations.append(InvariantViolation(
-            invariant=invariant, detail=detail, at_s=self.chain.sim.now))
+        context = dict(self.context)
+        context.setdefault("chain_length", len(self.chain.middleboxes))
+        context.setdefault("f", self.chain.f)
+        violation = InvariantViolation(
+            invariant=invariant, detail=detail, at_s=self.chain.sim.now,
+            context=context)
+        self.violations.append(violation)
+        flight = self.chain.telemetry.flight
+        if flight.enabled:
+            flight.record("chaos", "violation", t=self.chain.sim.now,
+                          detail=str(violation), chain="ctrl")
+            flight.trip(f"invariant:{invariant}",
+                        telemetry=self.chain.telemetry, t=self.chain.sim.now)
 
     def _in_flux(self) -> Set[int]:
         """Positions whose state is legitimately inconsistent right now."""

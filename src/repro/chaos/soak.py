@@ -11,11 +11,14 @@ is reproduced bit-for-bit by ``python -m repro chaos --seed N``.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core import FTCChain
 from ..core.costs import CostModel
+from ..flight import FlightRecorder
 from ..middlebox import ch_n
 from ..net import TrafficGenerator, balanced_flows
 from ..orchestration import Orchestrator, OrchestratorEnsemble
@@ -65,6 +68,11 @@ class SoakConfig:
     #: With ``orchestrators > 1``: also let the monkey crash, partition,
     #: and pause ensemble members (the ``orch-*`` fault kinds).
     orch_faults: bool = False
+    #: Record a causal flight log per schedule (implies telemetry for
+    #: that schedule); an invariant violation auto-dumps it to
+    #: ``flight_dump_dir/flight-<index>.json`` for ``repro explain``.
+    flight: bool = False
+    flight_dump_dir: str = "flight-dumps"
 
 
 @dataclass
@@ -93,6 +101,9 @@ class ScheduleResult:
     #: across the run and stale commands the epoch gate rejected.
     elections: int = 0
     fenced_commands: int = 0
+    #: Path of the flight dump written for this schedule (flight soaks
+    #: that tripped an invariant only).
+    flight_dump: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -164,7 +175,9 @@ def run_schedule(seed: int, chain_length: int, f: int,
     orchestrator = Orchestrator(sim, chain,
                                 heartbeat_interval_s=heartbeat_interval_s)
     orchestrator.start()
-    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=orchestrator)
+    auditor = InvariantAuditor(
+        chain, oracle=oracle, orchestrator=orchestrator,
+        context={"seed": seed, "schedule": index})
     monkey = ChaosMonkey(chain, orchestrator,
                          mean_interval_s=mean_fault_interval_s,
                          max_faults=max_faults,
@@ -226,7 +239,9 @@ def run_impaired_schedule(seed: int, chain_length: int = 2, f: int = 1,
                                 heartbeat_interval_s=heartbeat_interval_s,
                                 corroborate_suspects=True)
     orchestrator.start()
-    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=orchestrator)
+    auditor = InvariantAuditor(
+        chain, oracle=oracle, orchestrator=orchestrator,
+        context={"seed": seed, "schedule": index})
     plan = FaultPlan().impair_data(
         at_s=duration_s * 0.1, drop_rate=drop_rate, dup_rate=dup_rate,
         reorder_rate=reorder_rate, corrupt_rate=corrupt_rate,
@@ -320,7 +335,9 @@ def run_ctrlplane_schedule(seed: int, chain_length: int = 3, f: int = 1,
         sim, chain, n=orchestrators, election=CTRLPLANE_ELECTION,
         heartbeat_interval_s=heartbeat_interval_s)
     ensemble.start()
-    auditor = InvariantAuditor(chain, oracle=oracle, orchestrator=ensemble)
+    auditor = InvariantAuditor(
+        chain, oracle=oracle, orchestrator=ensemble,
+        context={"seed": seed, "schedule": index})
     monkey = ChaosMonkey(chain, ensemble, ensemble=ensemble,
                          mean_interval_s=mean_fault_interval_s,
                          max_faults=max_faults,
@@ -383,10 +400,19 @@ def run_soak(config: Optional[SoakConfig] = None,
     if config.telemetry:
         result.registry = MetricRegistry()
     grid = [(n, f) for n in config.chain_lengths for f in config.f_values]
+    if config.flight:
+        os.makedirs(config.flight_dump_dir, exist_ok=True)
     for index in range(config.schedules):
         chain_length, f = grid[index % len(grid)]
         seed = config.seed * 10_000 + index
-        telemetry = Telemetry() if config.telemetry else None
+        flight = None
+        if config.flight:
+            flight = FlightRecorder(autodump_path=os.path.join(
+                config.flight_dump_dir, f"flight-{index}.json"))
+            flight.set_context(seed=seed, schedule=index,
+                               chain_length=chain_length, f=f)
+        telemetry = (Telemetry(flight=flight)
+                     if config.telemetry or config.flight else None)
         if config.impair_data is not None:
             drop, dup, reorder, corrupt = config.impair_data
             schedule = run_impaired_schedule(
@@ -414,8 +440,10 @@ def run_soak(config: Optional[SoakConfig] = None,
                 heartbeat_interval_s=config.heartbeat_interval_s,
                 mean_fault_interval_s=config.mean_fault_interval_s,
                 index=index, telemetry=telemetry)
-        if telemetry is not None:
+        if telemetry is not None and result.registry is not None:
             result.registry.merge(telemetry.registry)
+        if flight is not None and flight.trips:
+            schedule.flight_dump = flight.autodump_path
         result.schedules.append(schedule)
         if progress is not None:
             progress(schedule)

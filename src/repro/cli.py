@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro list                    # available middleboxes/systems
     python -m repro run --chain monitor,monitor --system ftc --rate 2e6
     python -m repro experiment fig9         # regenerate a table/figure
     python -m repro chaos --seed 0 --faults 3   # fault-injection soak
     python -m repro trace --out trace.json  # sampled Chrome trace
+    python -m repro explain flight.json --recovery 1   # post-mortem
+    python -m repro report --slo p99_latency_us<=500   # markdown report
 
 ``run`` builds the requested chain under the requested system, drives
 it for a simulated duration, and prints throughput/latency plus the
@@ -14,6 +16,12 @@ per-middlebox state summary; ``--telemetry`` adds the chain-wide metric
 summary (PROTOCOL.md §7).  ``trace`` is ``run`` with per-packet span
 recording on, exporting Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto.
+
+``--flight`` (run/trace/report, and per-schedule on ``chaos``) turns
+on the causal flight recorder (PROTOCOL.md §10); ``explain`` walks a
+dump's ``parent_ref`` links to reconstruct one packet's journey, one
+recovery, or one leadership epoch; ``report`` runs a chain under an
+SLO watchdog and renders a self-contained markdown run report.
 """
 
 from __future__ import annotations
@@ -68,6 +76,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="impair chain links, e.g. "
                               "drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01 "
                               "(FTC hops switch to reliable channels, §8)")
+        cmd.add_argument("--flight", nargs="?", const="flight.json",
+                         default=None, metavar="PATH",
+                         help="record a causal flight log and dump it to "
+                              "PATH (default flight.json) for 'repro "
+                              "explain' (PROTOCOL.md §10)")
 
     run = sub.add_parser("run", help="simulate a chain under a system")
     _chain_options(run)
@@ -128,6 +141,40 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="orch_faults",
                        help="with --orchestrators > 1: also crash, "
                             "partition, and freeze ensemble members")
+    chaos.add_argument("--flight", nargs="?", const="flight-dumps",
+                       default=None, metavar="DIR",
+                       help="record a flight log per schedule; an invariant "
+                            "violation auto-dumps flight-<index>.json into "
+                            "DIR for 'repro explain'")
+
+    explain = sub.add_parser(
+        "explain", help="post-mortem: reconstruct a causal chain "
+                        "from a flight dump")
+    explain.add_argument("dump", help="flight dump JSON "
+                                      "(--flight output or a soak auto-dump)")
+    what = explain.add_mutually_exclusive_group(required=True)
+    what.add_argument("--packet", type=int, default=None, metavar="PID",
+                      help="one packet's journey through the chain")
+    what.add_argument("--recovery", type=int, default=None, metavar="POS",
+                      help="one recovery of chain position POS, "
+                           "cross-checked against the RecoveryTimeline")
+    what.add_argument("--epoch", type=int, default=None, metavar="E",
+                      help="one leadership term: election, journal "
+                           "writes, demise")
+
+    report = sub.add_parser(
+        "report", help="run a chain and render a markdown run report")
+    _chain_options(report)
+    report.add_argument("--orchestrators", type=int, default=1, metavar="N",
+                        help="replicated control plane, as in 'run'")
+    report.add_argument("--slo", default=None, metavar="SPEC",
+                        help="SLO objectives, e.g. 'p99_latency_us<=250,"
+                             "goodput_pps>=5e5' (indicators: p99_latency_us, "
+                             "goodput_pps, retransmit_rate, and with "
+                             "--orchestrators > 1 detection_s, recovery_s)")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the markdown report here "
+                             "(default: stdout)")
     return parser
 
 
@@ -148,9 +195,14 @@ def _parse_impairment(text: str, prog: str):
         raise SystemExit(f"{prog}: {err}")
 
 
-def _run_chain(args, telemetry=None):
-    """Shared run/trace driver; returns (system, generator, egress,
-    middleboxes) after the simulation has completed."""
+def _run_chain(args, telemetry=None, on_ready=None):
+    """Shared run/trace/report driver; returns (system, generator,
+    egress, middleboxes) after the simulation has completed.
+
+    ``on_ready(sim, system, egress, ensemble)`` is called once the
+    chain is built but before traffic runs -- the hook ``report`` uses
+    to start its SLO watchdog inside the simulation.
+    """
     impairment = None
     if getattr(args, "impair_data", None):
         impairment = _parse_impairment(args.impair_data, "repro run")
@@ -217,6 +269,8 @@ def _run_chain(args, telemetry=None):
 
         sim.process(chaos(sim))
 
+    if on_ready is not None:
+        on_ready(sim, system, egress, ensemble)
     warmup = min(args.duration * 0.2, 1e-3)
     sim.run(until=warmup)
     egress.throughput.start_window()
@@ -277,31 +331,55 @@ def _print_run_summary(args, system, generator, egress, middleboxes) -> None:
                        rows))
 
 
-def _make_telemetry(args, sample_every: int = 1):
+def _make_telemetry(args, sample_every: int = 1, flight=None):
     if args.system.lower() != "ftc":
         print(f"note: telemetry hooks only instrument the FTC chain; "
               f"--system {args.system} runs without them", file=sys.stderr)
     from .telemetry import Telemetry
-    return Telemetry(sample_every=sample_every)
+    return Telemetry(sample_every=sample_every, flight=flight)
+
+
+def _make_flight(args):
+    """A FlightRecorder for --flight runs; trips auto-dump to the
+    requested path, and the CLI demand-dumps there at the end anyway."""
+    from .flight import FlightRecorder
+    flight = FlightRecorder(autodump_path=args.flight)
+    flight.set_context(seed=args.seed, chain=args.chain, system=args.system,
+                       rate_pps=args.rate, duration_s=args.duration,
+                       f=args.failures)
+    return flight
+
+
+def _dump_flight(flight, path, telemetry) -> None:
+    flight.dump_json(path, reason="demand", telemetry=telemetry)
+    print(f"flight dump written to {path} ({len(flight)} events, "
+          f"{flight.dropped} shed, {len(flight.trips)} trips)")
 
 
 def _cmd_run(args) -> int:
-    telemetry = _make_telemetry(args) if args.telemetry else None
+    flight = _make_flight(args) if args.flight else None
+    telemetry = None
+    if args.telemetry or flight is not None:
+        telemetry = _make_telemetry(args, flight=flight)
     result = _run_chain(args, telemetry=telemetry)
     if result is None:
         return 2
     _print_run_summary(args, *result)
-    if telemetry is not None:
+    if telemetry is not None and args.telemetry:
         print()
         print(telemetry.summary_table())
         if args.trace_out:
             telemetry.export_chrome(args.trace_out)
             print(f"chrome trace written to {args.trace_out}")
+    if flight is not None:
+        _dump_flight(flight, args.flight, telemetry)
     return 0
 
 
 def _cmd_trace(args) -> int:
-    telemetry = _make_telemetry(args, sample_every=max(1, args.sample))
+    flight = _make_flight(args) if args.flight else None
+    telemetry = _make_telemetry(args, sample_every=max(1, args.sample),
+                                flight=flight)
     result = _run_chain(args, telemetry=telemetry)
     if result is None:
         return 2
@@ -314,7 +392,89 @@ def _cmd_trace(args) -> int:
     telemetry.export_chrome(args.out)
     print(f"chrome trace written to {args.out} "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    if flight is not None:
+        _dump_flight(flight, args.flight, telemetry)
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from .flight import (explain_epoch, explain_packet, explain_recovery,
+                         load_dump)
+    try:
+        dump = load_dump(args.dump)
+    except (OSError, ValueError) as err:
+        print(f"repro explain: {err}", file=sys.stderr)
+        return 2
+    if args.packet is not None:
+        text = explain_packet(dump, args.packet)
+    elif args.recovery is not None:
+        text = explain_recovery(dump, args.recovery)
+    else:
+        text = explain_epoch(dump, args.epoch)
+    print(text)
+    return 1 if "timeline cross-check: MISMATCH" in text else 0
+
+
+def _cmd_report(args) -> int:
+    from .flight import (SLOWatchdog, parse_slo_spec, render_report,
+                         run_probes)
+
+    objectives = []
+    if args.slo:
+        try:
+            objectives = parse_slo_spec(args.slo)
+        except ValueError as err:
+            raise SystemExit(f"repro report: {err}")
+    flight = _make_flight(args)
+    telemetry = _make_telemetry(args, flight=flight)
+    state = {}
+
+    def on_ready(sim, system, egress, ensemble):
+        probes = run_probes(
+            egress,
+            chain=system if hasattr(system, "channel_stats") else None,
+            orchestrator=ensemble)
+        try:
+            watchdog = SLOWatchdog(sim, objectives, probes,
+                                   telemetry=telemetry)
+        except ValueError as err:
+            raise SystemExit(
+                f"repro report: {err} (detection_s/recovery_s need "
+                f"--orchestrators > 1; retransmit_rate needs --system ftc)")
+        watchdog.start()
+        state["watchdog"] = watchdog
+
+    result = _run_chain(args, telemetry=telemetry, on_ready=on_ready)
+    if result is None:
+        return 2
+    system, generator, egress, middleboxes = result
+    watchdog = state.get("watchdog")
+    if watchdog is not None:
+        # No final pass after the drain: the post-traffic window would
+        # read as a goodput collapse that never happened on the wire.
+        watchdog.stop()
+    config = {"chain": args.chain, "system": args.system,
+              "rate_pps": args.rate, "duration_s": args.duration,
+              "threads": args.threads, "f": args.failures,
+              "seed": args.seed, "offered": generator.sent}
+    if args.orchestrators > 1:
+        config["orchestrators"] = args.orchestrators
+    if args.slo:
+        config["slo"] = args.slo
+    text = render_report(
+        title=f"Run report: {args.system.upper()} "
+              f"{' -> '.join(m.name for m in middleboxes)}",
+        config=config, egress=egress, telemetry=telemetry,
+        watchdog=watchdog, flight=flight)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
+    if args.flight:
+        _dump_flight(flight, args.flight, telemetry)
+    return 0 if watchdog is None or watchdog.ok else 1
 
 
 def _parse_int_list(text: str, option: str) -> List[int]:
@@ -355,7 +515,9 @@ def _cmd_chaos(args) -> int:
         f_values=_parse_int_list(args.f_values, "--f-values"),
         duration_s=args.duration, rate_pps=args.rate,
         telemetry=args.telemetry, impair_data=impair_data,
-        orchestrators=args.orchestrators, orch_faults=args.orch_faults)
+        orchestrators=args.orchestrators, orch_faults=args.orch_faults,
+        flight=bool(args.flight),
+        flight_dump_dir=args.flight or "flight-dumps")
 
     def progress(schedule):
         status = "ok" if schedule.ok else "FAIL"
@@ -389,6 +551,14 @@ def _cmd_chaos(args) -> int:
         events = sum(len(s.timeline) for s in result.schedules)
         print(f"recovery timelines: {events} events across "
               f"{len(result.schedules)} schedules")
+    if args.flight:
+        dumps = [s.flight_dump for s in result.schedules if s.flight_dump]
+        if dumps:
+            print("flight dumps (invariant trips):")
+            for path in dumps:
+                print(f"  {path}")
+        else:
+            print("no invariant trips; no flight dumps written")
     return 0 if result.ok else 1
 
 
@@ -411,6 +581,10 @@ def main(argv: List[str] = None) -> int:
         return _cmd_experiment(args.name)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return 1
 
 

@@ -60,6 +60,7 @@ class Buffer:
         self._m_feedback = registry.counter(f"{name}/feedback_packets")
         self._m_duplicates = registry.counter(f"{name}/duplicates_dropped")
         self._m_overflow = registry.counter(f"{name}/overflow_dropped")
+        self._flight = self.telemetry.flight
         #: pid -> virtual time the packet entered the held queue (only
         #: populated while telemetry is enabled).
         self._hold_started: Dict[int, float] = {}
@@ -101,6 +102,11 @@ class Buffer:
             # releasing it again would break exactly-once egress.
             self.duplicates_dropped += 1
             self._m_duplicates.inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "buffer", "dup-drop", t=self.sim.now, pid=packet.pid,
+                    detail="duplicate delivery absorbed at egress",
+                    chain=f"pid:{packet.pid}")
             self.cycles_spent += cycles
             return cycles
         self._seen_pids[packet.pid] = None
@@ -139,6 +145,11 @@ class Buffer:
             # when the commit path is wedged (counted, not silent).
             self.overflow_dropped += 1
             self._m_overflow.inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "buffer", "shed", t=self.sim.now, pid=packet.pid,
+                    detail=f"held set full ({self.max_held})",
+                    chain=f"pid:{packet.pid}")
         else:
             self.held.append((packet, requirements))
             self.held_peak = max(self.held_peak, len(self.held))
@@ -149,6 +160,11 @@ class Buffer:
                     tracer.begin_async(packet.pid, "buffer-hold", "buffer",
                                        self.sim.now,
                                        mboxes=sorted(requirements))
+            if self._flight.enabled:
+                self._flight.record(
+                    "buffer", "hold", t=self.sim.now, pid=packet.pid,
+                    detail=f"awaiting commits from {sorted(requirements)}",
+                    chain=f"pid:{packet.pid}")
         self._scan_held()
         if self.telemetry.enabled:
             self._m_held.set(len(self.held))
@@ -181,6 +197,11 @@ class Buffer:
                     tracer.end_async(packet.pid, "buffer-hold", "buffer",
                                      self.sim.now)
                 tracer.instant(packet.pid, "release", "buffer", self.sim.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "buffer", "release", t=self.sim.now, pid=packet.pid,
+                detail="all dependency vectors covered f+1 times",
+                chain=f"pid:{packet.pid}")
         self.deliver(packet)
 
     def _scan_held(self) -> None:

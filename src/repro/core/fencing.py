@@ -58,6 +58,7 @@ class EpochGate:
         self.applied: List[AppliedCommand] = []
         self._m_fenced = self.telemetry.registry.counter(
             "ensemble/fenced_commands")
+        self._flight = self.telemetry.flight
 
     def check(self, epoch: Optional[int], kind: str = "command",
               positions: Sequence[int] = ()) -> None:
@@ -71,6 +72,17 @@ class EpochGate:
                 "fenced", positions,
                 detail=f"{kind}: epoch {epoch} < fence {self.max_epoch}",
                 t=self.sim.now)
+            if self.telemetry.enabled:
+                self.telemetry.tracer.instant(
+                    0, f"fenced:{kind}", "ctrl", self.sim.now, tid=9998,
+                    epoch=epoch, fence=self.max_epoch,
+                    positions=list(positions))
+            if self._flight.enabled:
+                self._flight.record(
+                    "fencing", "fenced", t=self.sim.now, epoch=epoch,
+                    detail=f"{kind} rejected: epoch {epoch} < fence "
+                           f"{self.max_epoch} positions={list(positions)}",
+                    chain="ctrl")
             raise StaleEpochError(
                 f"{kind} carries epoch {epoch}, fence is at {self.max_epoch}")
         self.max_epoch = epoch
@@ -84,3 +96,9 @@ class EpochGate:
         self.applied.append(AppliedCommand(
             epoch=epoch, kind=kind, positions=tuple(positions),
             detail=detail, t=self.sim.now))
+        if self._flight.enabled:
+            self._flight.record(
+                "fencing", "applied", t=self.sim.now, epoch=epoch,
+                detail=f"{kind} positions={list(positions)}"
+                       f"{': ' + detail if detail else ''}",
+                chain="ctrl")

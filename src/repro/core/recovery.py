@@ -132,6 +132,17 @@ def recover_positions(chain: FTCChain, positions: List[int],
     report = RecoveryReport(positions=list(positions))
     failed = set(positions)
     started = sim.now
+    flight = chain.telemetry.flight
+
+    def flight_phase(phase: str) -> None:
+        # Recorded at the same virtual instant as the `_fire` that puts
+        # the phase boundary into the RecoveryTimeline, so `repro
+        # explain --recovery` can cross-check the two records for exact
+        # timestamp equality.
+        if flight.enabled:
+            flight.record("recovery", phase, t=sim.now, epoch=epoch,
+                          detail=f"positions={list(positions)}",
+                          chain="ctrl")
 
     frozen: List = []
     fetch_procs: List = []
@@ -140,6 +151,7 @@ def recover_positions(chain: FTCChain, positions: List[int],
     try:
         # -- step 1: initialization ----------------------------------------------
         _fire(hooks, "initializing", positions)
+        flight_phase("initializing")
         yield sim.timeout(init_delay_s)
         report.initialization_s = sim.now - started
 
@@ -158,6 +170,7 @@ def recover_positions(chain: FTCChain, positions: List[int],
                                              streams=chain.streams,
                                              use_htm=chain.use_htm)
         _fire(hooks, "spawned", positions)
+        flight_phase("spawned")
 
         # -- step 2: state recovery (parallel fetches per group) ---------------------
         # Plan all sources first so an unrecoverable group surfaces
@@ -183,6 +196,13 @@ def recover_positions(chain: FTCChain, positions: List[int],
                         for log in source_state.retained))
             report.bytes_transferred += size
             report.fetches.append((mbox_name, source_pos, size))
+            if flight.enabled:
+                flight.record(
+                    "recovery", "fetch-source", t=sim.now, epoch=epoch,
+                    detail=f"{mbox_name} for p{position} from "
+                           f"p{source_pos} {size}B "
+                           f"positions={list(positions)}",
+                    chain="ctrl")
 
             def fetch_one(source_state=source_state, replica=replica,
                           mbox_name=mbox_name, position=position,
@@ -228,13 +248,16 @@ def recover_positions(chain: FTCChain, positions: List[int],
             fetch_procs.append(sim.process(fetch_one()))
 
         _fire(hooks, "fetching", positions)
+        flight_phase("fetching")
         yield AllOf(sim, fetch_procs)
         report.state_recovery_s = sim.now - fetch_started
         _fire(hooks, "fetched", positions)
+        flight_phase("fetched")
 
         # -- step 3: rerouting (single update after all confirmations, §5.2) ---------
         reroute_started = sim.now
         _fire(hooks, "rerouting", positions)
+        flight_phase("rerouting")
         if journal is not None:
             # Write-ahead: journal the re-steer *before* the route
             # mutates, so a leader that dies inside the commit loop
@@ -267,6 +290,7 @@ def recover_positions(chain: FTCChain, positions: List[int],
             new_replicas[position].start()
         report.rerouting_s = sim.now - reroute_started
         _fire(hooks, "committed", positions)
+        flight_phase("committed")
         return report
     finally:
         # Always thaw sources -- a fetch failure or an abort must not

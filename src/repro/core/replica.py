@@ -204,6 +204,7 @@ class Replica:
         cycles = 0.0
         trace_enabled = self.telemetry.enabled
         tracer = self.telemetry.tracer
+        flight = self.telemetry.flight
         for mbox in self.replicated:
             logs = message.logs_for(mbox)
             if logs:
@@ -220,6 +221,12 @@ class Replica:
                                        f"replicate@p{self.position}", "repl",
                                        self.sim.now, tid=self.position,
                                        mbox=mbox)
+                    if flight.enabled and log.packet_id is not None:
+                        flight.record(
+                            "piggyback", "apply", t=self.sim.now,
+                            pid=log.packet_id, depvec=dict(log.depvec),
+                            detail=f"{mbox} @p{self.position}",
+                            chain=f"pid:{log.packet_id}")
             if mbox in self.tail_last_sent:
                 message.take_logs(mbox)
                 state = self.states[mbox]

@@ -139,6 +139,8 @@ class MiddleboxRuntime:
             self.counters.piggyback_copy += copy_cycles
             return self.costs.cycles_to_seconds(copy_cycles)
 
+        flight = self.telemetry.flight
+
         def on_commit(ctx: TransactionContext, touched) -> Optional[PiggybackLog]:
             if not self.replicate:
                 return None
@@ -150,6 +152,13 @@ class MiddleboxRuntime:
             # The head is also the first of the f+1 replicas: account the
             # log locally so pruning/recovery see it.
             self.state.record_local(log)
+            if flight.enabled:
+                flight.record(
+                    "piggyback", "append", t=self.sim.now, pid=packet.pid,
+                    depvec=dict(vec),
+                    detail=f"{self.middlebox.name} "
+                           f"{len(ctx.writes)} update(s)",
+                    chain=f"pid:{packet.pid}")
             return log
 
         trace_pid = (packet.pid
@@ -157,6 +166,7 @@ class MiddleboxRuntime:
         result = yield from self.manager.run(
             body, hold_time=hold, flow=packet.flow, thread_id=thread_id,
             trace_pid=trace_pid,
+            flight_pid=packet.pid if flight.enabled else None,
             on_commit=on_commit, commit_hold_fn=commit_hold_fn,
             lock_overhead_s=self.costs.cycles_to_seconds(locking),
             htm_overhead_s=self.costs.cycles_to_seconds(

@@ -130,6 +130,7 @@ class ReliableChannel:
         self._m_corrupt = registry.counter("channel/corrupt_dropped")
         self._m_stalls = registry.counter("channel/window_stalls")
         self._m_inflight = registry.histogram("channel/inflight")
+        self._flight = self.telemetry.flight
 
         self.epoch = 0
         self._link = None
@@ -194,6 +195,13 @@ class ReliableChannel:
         receiver.  Anything still in flight carries the old epoch and
         is discarded on arrival.
         """
+        if self._flight.enabled:
+            self._flight.record(
+                "channel", "reset", t=self.sim.now,
+                detail=f"{self.name} epoch {self.epoch} -> "
+                       f"{self.epoch + 1}: {len(self.unacked)} unacked, "
+                       f"{len(self.ooo)} parked discarded",
+                chain="ctrl")
         self.epoch += 1
         self.next_seq = 0
         self.unacked.clear()
@@ -246,6 +254,12 @@ class ReliableChannel:
         pending.deadline = self.sim.now + self._rto(pending.attempts)
         self.retransmissions += 1
         self._m_retx.inc()
+        if self._flight.enabled:
+            pid = getattr(pending.packet, "pid", None)
+            self._flight.record(
+                "channel", "retransmit", t=self.sim.now, pid=pid,
+                detail=f"{self.name} seq {seq} attempt {pending.attempts}",
+                chain=f"pid:{pid}" if pid is not None else None)
         self._send_frame(seq, pending.packet)
 
     def _watchdog_loop(self):
@@ -354,6 +368,11 @@ class ReliableChannel:
         self._last_nack_at = now
         self.nacks_sent += 1
         self._m_nacks.inc()
+        if self._flight.enabled:
+            self._flight.record(
+                "channel", "nack", t=now,
+                detail=f"{self.name} missing seqs "
+                       f"{list(missing)}", chain=None)
         lost = self.loss_fn()
         epoch = self.epoch
 

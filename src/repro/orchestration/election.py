@@ -69,13 +69,20 @@ class ElectionMember:
     """
 
     def __init__(self, sim, net, index: int, server_name: str,
-                 config: Optional[ElectionConfig] = None, rng=None):
+                 config: Optional[ElectionConfig] = None, rng=None,
+                 telemetry=None):
+        from ..telemetry import NULL_TELEMETRY
         self.sim = sim
         self.net = net
         self.index = index
         self.server_name = server_name
         self.config = config or ElectionConfig()
         self.rng = rng
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._m_rounds = registry.counter("election/rounds")
+        self._m_renewals = registry.counter("election/lease_renewals")
+        self._flight = self.telemetry.flight
         self._peers: List["ElectionMember"] = []
         # Durable election state (survives crash/restart).
         self.max_granted_epoch = 0
@@ -281,6 +288,12 @@ class ElectionMember:
         # Durable self-vote: this member can never grant <= epoch again.
         self.max_epoch_seen = epoch
         self.max_granted_epoch = epoch
+        self._m_rounds.inc()
+        if self._flight.enabled:
+            self._flight.record(
+                "election", "campaign", t=self.sim.now, epoch=epoch,
+                detail=f"m{self.index} stands for epoch {epoch}",
+                chain="ctrl")
         state = {"votes": 1, "pending": len(self._peers)}
         decided = self.sim.event()
 
@@ -360,6 +373,7 @@ class ElectionMember:
         every round longer than ``renew_every_s`` and bleed the lease
         dry between re-anchors.  Stragglers complete in the background.
         """
+        self._m_renewals.inc()
         state = {"acks": 1, "newer": False, "pending": len(self._peers)}
         decided = self.sim.event()
 

@@ -45,7 +45,8 @@ class EnsembleMember(ElectionMember):
                  server_name: str, config: ElectionConfig, rng,
                  **orchestrator_kwargs):
         super().__init__(ensemble.sim, ensemble.chain.net, index,
-                         server_name, config=config, rng=rng)
+                         server_name, config=config, rng=rng,
+                         telemetry=ensemble.telemetry)
         self.ensemble = ensemble
         self.journal = CommandJournal()
         self._seq = 0
@@ -81,6 +82,12 @@ class EnsembleMember(ElectionMember):
                              positions=tuple(positions), t=self.sim.now)
         self.journal.append(entry)
         self.ensemble._m_journal.inc()
+        if self._flight.enabled:
+            self._flight.record(
+                "journal", step, t=self.sim.now, epoch=epoch,
+                detail=f"m{self.index} seq {self._seq} write-ahead "
+                       f"positions={list(positions)}",
+                chain="ctrl")
         acks, saw_newer = 1, False
         replications = [self.sim.process(self._replicate(peer, entry))
                         for peer in self._peers]
@@ -98,6 +105,12 @@ class EnsembleMember(ElectionMember):
             raise StaleEpochError(
                 f"m{self.index} epoch {epoch}: journal quorum lost "
                 f"({acks}/{self.majority} acks for {step!r})")
+        self.ensemble._m_quorum_writes.inc()
+        if self.telemetry.enabled:
+            self.telemetry.tracer.instant(
+                0, f"journal:{step}", "ctrl", self.sim.now, tid=9998,
+                epoch=epoch, member=self.index, acks=acks,
+                positions=list(positions))
         # Chain-side fence last: the command is durable, now stamp it.
         self.ensemble.gate.check(epoch, step, positions)
 
@@ -242,9 +255,14 @@ class OrchestratorEnsemble:
         self._m_elections = registry.counter("ensemble/elections")
         self._m_stepdowns = registry.counter("ensemble/stepdowns")
         self._m_journal = registry.counter("ensemble/journal_appends")
+        self._m_quorum_writes = registry.counter(
+            "ensemble/journal_quorum_writes")
         self._m_epoch = registry.gauge("ensemble/epoch")
         self._m_leader = registry.gauge("ensemble/leader")
         self._m_alive = registry.gauge("ensemble/members_alive")
+        self._flight = self.telemetry.flight
+        if self.telemetry.enabled:
+            self.telemetry.tracer.set_thread_name(9998, "control-plane")
         config = election or ElectionConfig()
         self.members: List[EnsembleMember] = []
         for index in range(n):
@@ -283,6 +301,14 @@ class OrchestratorEnsemble:
         self.telemetry.timeline.record(
             "leader-elected", (), detail=f"m{member.index} epoch {epoch}",
             t=self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.begin_async(
+                epoch, f"lead:m{member.index}", "ctrl", self.sim.now,
+                tid=9998, member=member.index)
+        if self._flight.enabled:
+            self._flight.record(
+                "election", "elected", t=self.sim.now, epoch=epoch,
+                detail=f"m{member.index} epoch {epoch}", chain="ctrl")
         self._update_gauges()
 
     def _note_deposed(self, member: EnsembleMember, reason: str) -> None:
@@ -291,12 +317,30 @@ class OrchestratorEnsemble:
             "stepped-down", (),
             detail=f"m{member.index} epoch {member.epoch}: {reason}",
             t=self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.end_async(
+                member.epoch, f"lead:m{member.index}", "ctrl", self.sim.now,
+                tid=9998, reason=reason)
+        if self._flight.enabled:
+            self._flight.record(
+                "election", "stepped-down", t=self.sim.now,
+                epoch=member.epoch,
+                detail=f"m{member.index} epoch {member.epoch}: {reason}",
+                chain="ctrl")
         self._update_gauges()
 
     def _note_resumed(self, member: EnsembleMember, epoch: int) -> None:
         self.telemetry.timeline.record(
             "leader-resumed", (), detail=f"m{member.index} epoch {epoch}",
             t=self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.begin_async(
+                epoch, f"lead:m{member.index}", "ctrl", self.sim.now,
+                tid=9998, member=member.index, resumed=True)
+        if self._flight.enabled:
+            self._flight.record(
+                "election", "leader-resumed", t=self.sim.now, epoch=epoch,
+                detail=f"m{member.index} epoch {epoch}", chain="ctrl")
         self._update_gauges()
 
     def _update_gauges(self) -> None:

@@ -108,6 +108,7 @@ class Orchestrator:
         self._m_cleared = registry.counter("orch/suspects_cleared")
         self._m_cleared_self = registry.counter("orch/suspects_cleared_self")
         self._m_resumed = registry.counter("orch/resumed_positions")
+        self._flight = self.telemetry.flight
         #: Two quick probes per round, fitting the classic 0.8*interval
         #: budget; no jitter so detection-delay bounds stay deterministic.
         self.heartbeat_retry = heartbeat_retry or RetryPolicy(
@@ -275,6 +276,12 @@ class Orchestrator:
             if self._misses[position] == 1:
                 self.telemetry.timeline.record("suspected", [position],
                                                t=self.sim.now)
+                if self._flight.enabled:
+                    self._flight.record(
+                        "orch", "suspected", t=self.sim.now,
+                        epoch=self.epoch,
+                        detail=f"heartbeat missed positions=[{position}]",
+                        chain="ctrl")
 
     def _witness_for(self, position: int,
                      batch: Sequence[int] = ()) -> Optional[int]:
@@ -329,8 +336,24 @@ class Orchestrator:
                     detail=(f"witness p{witness}" if witness is not None
                             else f"self-probe via {src}"),
                     t=self.sim.now)
+                if self._flight.enabled:
+                    self._flight.record(
+                        "orch", "suspect-cleared", t=self.sim.now,
+                        epoch=self.epoch,
+                        detail=(f"witness p{witness}" if witness is not None
+                                else f"self-probe via {src}") +
+                               f" positions=[{position}]",
+                        chain="ctrl")
             else:
                 confirmed.append(position)
+                if self._flight.enabled:
+                    self._flight.record(
+                        "orch", "corroborated", t=self.sim.now,
+                        epoch=self.epoch,
+                        detail=(f"witness "
+                                f"{'p' + str(witness) if witness is not None else 'self'}"
+                                f" confirmed silence positions=[{position}]"),
+                        chain="ctrl")
         return confirmed
 
     def _monitor_loop(self, resume_open: Optional[Set[int]] = None):
@@ -384,10 +407,23 @@ class Orchestrator:
                 self.telemetry.timeline.record(
                     "journal-replayed", [position],
                     detail="resuming in-flight recovery", t=self.sim.now)
+                if self._flight.enabled:
+                    self._flight.record(
+                        "orch", "journal-replayed", t=self.sim.now,
+                        epoch=self.epoch,
+                        detail=f"resuming in-flight recovery "
+                               f"positions=[{position}]",
+                        chain="ctrl")
             else:
                 self.telemetry.timeline.record(
                     "journal-replayed", [position],
                     detail="already recovered", t=self.sim.now)
+                if self._flight.enabled:
+                    self._flight.record(
+                        "orch", "journal-replayed", t=self.sim.now,
+                        epoch=self.epoch,
+                        detail=f"already recovered positions=[{position}]",
+                        chain="ctrl")
         if dead:
             yield from self._declare_failed(dead)
 
@@ -431,6 +467,13 @@ class Orchestrator:
         self._m_failures.inc()
         self._m_detection.observe(detection_delay, t=self.sim.now)
         self.telemetry.timeline.record("confirmed", positions, t=self.sim.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "orch", "confirmed", t=self.sim.now, epoch=self.epoch,
+                detail=f"detection delay "
+                       f"{detection_delay * 1e3:.3f}ms "
+                       f"positions={list(positions)}",
+                chain="ctrl")
         self.history.append(event)
         self._open_events.append(event)
         self._recovering_positions |= set(positions)
@@ -589,6 +632,13 @@ class Orchestrator:
         self._m_abandoned.inc()
         self.telemetry.timeline.record("abandoned", positions,
                                        detail=str(exc), t=self.sim.now)
+        if self._flight.enabled:
+            self._flight.record(
+                "recovery", "abandoned", t=self.sim.now, epoch=self.epoch,
+                detail=f"{exc} positions={list(positions)}",
+                chain="ctrl")
+            self._flight.trip(f"unrecoverable: {exc}",
+                              telemetry=self.telemetry, t=self.sim.now)
         self.chain.degraded = True
         self.chain.degraded_reason = str(exc)
         for event in self._open_events:

@@ -209,7 +209,8 @@ class TransactionManager:
             on_commit: Optional[Callable[[TransactionContext, FrozenSet[int]], Any]] = None,
             commit_hold_fn: Optional[Callable[[TransactionContext], float]] = None,
             lock_overhead_s: float = 0.0, htm_overhead_s: float = 0.0,
-            trace_pid: Optional[int] = None):
+            trace_pid: Optional[int] = None,
+            flight_pid: Optional[int] = None):
         """Generator: execute ``body`` transactionally.
 
         Yields simulation events while waiting for locks and during the
@@ -230,8 +231,14 @@ class TransactionManager:
         ``trace_pid`` enables span recording for this transaction: the
         caller passes the packet id when the tracer sampled it, None
         otherwise (the common, zero-overhead case).
+
+        ``flight_pid`` likewise enables causal flight events (wound /
+        lock-wait / commit) on the packet's ``pid:<N>`` chain; it is
+        independent of ``trace_pid`` because the tracer samples while
+        the flight recorder, when on, sees every packet.
         """
         tracer = self.telemetry.tracer if trace_pid is not None else None
+        flight = self.telemetry.flight if flight_pid is not None else None
         tx = Transaction(next(self._timestamps))
         started = self.sim.now
         needed: Set[int] = set()
@@ -267,6 +274,13 @@ class TransactionManager:
                                     acquire_started, self.sim.now,
                                     tid=thread_id, mbox=self.name,
                                     partitions=sorted(needed))
+                if flight is not None and self.sim.now > acquire_started:
+                    flight.record(
+                        "stm", "lock-wait", t=self.sim.now, pid=flight_pid,
+                        detail=f"{self.name} waited "
+                               f"{(self.sim.now - acquire_started) * 1e6:.2f}us "
+                               f"for partitions {sorted(needed)}",
+                        chain=f"pid:{flight_pid}")
                 hold_started = self.sim.now
 
                 total_hold = hold_time + (htm_overhead_s if used_htm
@@ -307,6 +321,14 @@ class TransactionManager:
                                     hold_started, self.sim.now,
                                     tid=thread_id, mbox=self.name,
                                     retries=tx.retries, htm=used_htm)
+                if flight is not None:
+                    flight.record(
+                        "stm", "commit", t=self.sim.now, pid=flight_pid,
+                        detail=f"{self.name} partitions="
+                               f"{sorted(live_partitions)} "
+                               f"retries={tx.retries}"
+                               f"{' htm' if used_htm else ''}",
+                        chain=f"pid:{flight_pid}")
                 return TransactionResult(
                     writes=dict(live.writes),
                     read_keys=set(live.reads),
@@ -324,6 +346,12 @@ class TransactionManager:
                 if tracer is not None:
                     tracer.instant(trace_pid, "wounded", "stm", self.sim.now,
                                    tid=thread_id, mbox=self.name)
+                if flight is not None:
+                    flight.record(
+                        "stm", "wound", t=self.sim.now, pid=flight_pid,
+                        detail=f"{self.name} ts={tx.timestamp} "
+                               f"retry {tx.retries}",
+                        chain=f"pid:{flight_pid}")
                 # Immediately re-execute (same timestamp: no starvation).
                 continue
         raise RuntimeError(

@@ -52,6 +52,7 @@ from .trace import (
     SPAN_PHASES,
     validate_chrome_trace,
 )
+from ..flight.recorder import NULL_FLIGHT  # no cycle: recorder is leaf-only
 
 __all__ = [
     "Counter",
@@ -59,6 +60,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "NULL_COUNTER",
+    "NULL_FLIGHT",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_REGISTRY",
@@ -84,7 +86,7 @@ class Telemetry:
     """The enabled bundle: registry + tracer + timeline."""
 
     def __init__(self, sample_every: int = 1,
-                 max_trace_events: Optional[int] = None):
+                 max_trace_events: Optional[int] = None, flight=None):
         self.registry = MetricRegistry()
         if max_trace_events is None:
             self.tracer = PacketTracer(sample_every=sample_every)
@@ -92,6 +94,9 @@ class Telemetry:
             self.tracer = PacketTracer(sample_every=sample_every,
                                        max_events=max_trace_events)
         self.timeline = RecoveryTimeline()
+        #: Causal flight recorder (PR 5); NULL_FLIGHT unless a run opts
+        #: in with ``--flight`` / ``SoakConfig.flight``.
+        self.flight = flight if flight is not None else NULL_FLIGHT
 
     @property
     def enabled(self) -> bool:
@@ -132,6 +137,7 @@ class NullTelemetry:
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
     timeline = NULL_TIMELINE
+    flight = NULL_FLIGHT
 
     @property
     def enabled(self) -> bool:
