@@ -23,6 +23,7 @@ from .plan import (
     FAULT_KINDS,
     IMPAIRED_DELIVERY,
     ORCH_FAULT_KINDS,
+    RECONFIG_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -33,6 +34,7 @@ from .soak import (
     SoakResult,
     run_ctrlplane_schedule,
     run_impaired_schedule,
+    run_reconfig_schedule,
     run_schedule,
     run_soak,
 )
@@ -44,6 +46,7 @@ __all__ = [
     "FAULT_KINDS",
     "IMPAIRED_DELIVERY",
     "ORCH_FAULT_KINDS",
+    "RECONFIG_FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -55,6 +58,7 @@ __all__ = [
     "SoakResult",
     "run_ctrlplane_schedule",
     "run_impaired_schedule",
+    "run_reconfig_schedule",
     "run_schedule",
     "run_soak",
 ]

@@ -188,17 +188,22 @@ class InvariantAuditor:
         if self.oracle.duplicate_releases:
             self._flag("release-safety",
                        f"{self.oracle.duplicate_releases} duplicate releases")
+        baselines = getattr(self.chain, "mbox_release_baseline", {})
         for index, mbox in enumerate(self.chain.middleboxes):
             if not isinstance(mbox, Monitor):
                 continue  # only Monitors expose a countable oracle view
+            # A middlebox inserted mid-run (§11) never saw the packets
+            # released before its insert; account from that floor.
+            expected = self.oracle.released - baselines.get(mbox.name, 0)
             for position in self._stable_members(index):
                 store = self.chain.store_of(mbox.name, position)
                 counted = mbox.total_count(store)
-                if counted < self.oracle.released:
+                if counted < expected:
                     self._flag(
                         "release-safety",
                         f"{mbox.name} replica p{position} accounts for "
-                        f"{counted} packets < {self.oracle.released} released")
+                        f"{counted} packets < {expected} released since "
+                        f"it joined the chain")
 
     def check_pruning_bound(self) -> None:
         """Invariant 3: floors bounded by MAX; retained logs above floor."""

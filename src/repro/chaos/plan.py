@@ -22,7 +22,7 @@ from ..core.chain import FTCChain
 from ..orchestration.orchestrator import Orchestrator
 
 __all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS",
-           "IMPAIRED_DELIVERY"]
+           "IMPAIRED_DELIVERY", "RECONFIG_FAULT_KINDS"]
 
 #: The data-plane adversity kind (PROTOCOL.md §8): chain links drop,
 #: duplicate, reorder, and corrupt packets for a window.
@@ -34,9 +34,16 @@ IMPAIRED_DELIVERY = "impair-data"
 #: :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`.
 ORCH_FAULT_KINDS = ("orch-crash", "orch-partition", "stale-leader-resume")
 
+#: Live-reconfiguration fault kinds (PROTOCOL.md §11): crash a chain
+#: position the instant a reconfiguration reaches a phase, kill the
+#: ensemble leader mid-switch, or fire a reconfiguration request while
+#: a recovery is in flight.
+RECONFIG_FAULT_KINDS = ("crash-during-reconfig", "leader-failover-mid-switch",
+                        "reconfig-during-recovery")
+
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control",
-               IMPAIRED_DELIVERY) + ORCH_FAULT_KINDS
+               IMPAIRED_DELIVERY) + ORCH_FAULT_KINDS + RECONFIG_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,23 @@ class FaultSpec:
         ``duration_s``.  Freeze it past its lease and it wakes up still
         believing it leads -- the split-brain scenario epoch fencing
         must neutralize.
+    ``kind="crash-during-reconfig"``
+        Arm a reconfiguration-phase hook from ``at_s`` on: the first
+        time a live reconfiguration (PROTOCOL.md §11) reaches ``phase``
+        (one of ``repro.core.RECONFIG_PHASES``, default ``draining``),
+        fail ``position`` (default: the operation's own position).
+    ``kind="leader-failover-mid-switch"``
+        Like ``crash-during-reconfig`` but kills the *ensemble leader*
+        (needs an ensemble) when the reconfiguration reaches ``phase``
+        (default ``switching``) -- the successor must resume or close
+        the journaled operation.
+    ``kind="reconfig-during-recovery"``
+        Arm a recovery-phase hook from ``at_s`` on: when a recovery
+        reaches ``phase`` (default ``fetching``), submit the
+        reconfiguration described by ``operation`` (a
+        :meth:`~repro.core.reconfig.ReconfigOp.describe` string) --
+        the request must serialize behind the recovery, never corrupt
+        it.
     """
 
     kind: str
@@ -86,6 +110,7 @@ class FaultSpec:
     duration_s: Optional[float] = None
     member: Optional[int] = None
     restart_after_s: Optional[float] = None
+    operation: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -94,6 +119,9 @@ class FaultSpec:
             raise ValueError("crash faults need a position")
         if self.kind == "crash-during-recovery" and self.phase is None:
             raise ValueError("crash-during-recovery faults need a phase")
+        if self.kind == "reconfig-during-recovery" and self.operation is None:
+            raise ValueError("reconfig-during-recovery faults need an "
+                             "operation descriptor")
         if (self.kind in ("orch-partition", "stale-leader-resume")
                 and self.duration_s is None):
             raise ValueError(f"{self.kind} faults need a duration_s")
@@ -116,6 +144,20 @@ class FaultSpec:
         if self.kind == "crash-during-recovery":
             return (f"crash p{self.position} at recovery phase "
                     f"{self.phase!r} (armed @ {self.at_s * 1e3:.2f}ms)")
+        if self.kind == "crash-during-reconfig":
+            who = ("the op's position" if self.position is None
+                   else f"p{self.position}")
+            return (f"crash {who} at reconfig phase "
+                    f"{(self.phase or 'draining')!r} "
+                    f"(armed @ {self.at_s * 1e3:.2f}ms)")
+        if self.kind == "leader-failover-mid-switch":
+            return (f"crash the leader at reconfig phase "
+                    f"{(self.phase or 'switching')!r} "
+                    f"(armed @ {self.at_s * 1e3:.2f}ms)")
+        if self.kind == "reconfig-during-recovery":
+            return (f"request {self.operation!r} at recovery phase "
+                    f"{(self.phase or 'fetching')!r} "
+                    f"(armed @ {self.at_s * 1e3:.2f}ms)")
         if self.kind == IMPAIRED_DELIVERY:
             return (f"impair data drop={self.drop_rate} dup={self.dup_rate} "
                     f"reorder={self.reorder_rate} "
@@ -178,6 +220,23 @@ class FaultPlan:
         return self.add(FaultSpec(kind="stale-leader-resume", at_s=at_s,
                                   member=member, duration_s=duration_s))
 
+    def crash_during_reconfig(self, phase: str = "draining",
+                              position: Optional[int] = None,
+                              at_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="crash-during-reconfig", at_s=at_s,
+                                  position=position, phase=phase))
+
+    def leader_failover_mid_switch(self, phase: str = "switching",
+                                   at_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="leader-failover-mid-switch",
+                                  at_s=at_s, phase=phase))
+
+    def reconfig_during_recovery(self, operation: str,
+                                 phase: str = "fetching",
+                                 at_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="reconfig-during-recovery", at_s=at_s,
+                                  operation=operation, phase=phase))
+
     def describe(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults,
                                                    key=lambda s: s.at_s)]
@@ -198,6 +257,8 @@ class FaultInjector:
         #: (fire time, human-readable description) per executed fault.
         self.injected: List[Tuple[float, str]] = []
         self._armed_phase_specs: List[FaultSpec] = []
+        self._armed_reconfig_specs: List[FaultSpec] = []
+        self._armed_recovery_reconfigs: List[FaultSpec] = []
 
     def start(self) -> None:
         sim = self.chain.sim
@@ -209,9 +270,14 @@ class FaultInjector:
             "orch-crash": self._orch_crash,
             "orch-partition": self._orch_partition,
             "stale-leader-resume": self._stale_leader_resume,
+            "crash-during-reconfig": self._arm_reconfig_spec,
+            "leader-failover-mid-switch": self._arm_reconfig_spec,
+            "reconfig-during-recovery": self._arm_recovery_reconfig,
         }
         for spec in self.plan.faults:
-            if spec.kind in ORCH_FAULT_KINDS and self.ensemble is None:
+            if (spec.kind in ORCH_FAULT_KINDS
+                    or spec.kind == "leader-failover-mid-switch") \
+                    and self.ensemble is None:
                 raise ValueError(
                     f"{spec.kind} faults need an orchestrator ensemble")
             sim.schedule_callback(
@@ -305,3 +371,62 @@ class FaultInjector:
             self.chain.fail_position(target)
             self._record(f"crash p{target} during recovery phase {phase!r} "
                          f"of {positions}")
+
+    # -- reconfiguration fault kinds (PROTOCOL.md §11) ---------------------------
+
+    def _arm_reconfig_spec(self, spec: FaultSpec) -> None:
+        if self.orchestrator is None:
+            raise ValueError(
+                f"{spec.kind} faults need an orchestrator (its reconfig "
+                "hooks carry the phase signal)")
+        if not self._armed_reconfig_specs:
+            self.orchestrator.reconfig_hooks.append(self._on_reconfig_phase)
+        self._armed_reconfig_specs.append(spec)
+
+    def _on_reconfig_phase(self, phase: str, positions) -> None:
+        for spec in list(self._armed_reconfig_specs):
+            want = spec.phase or ("switching"
+                                  if spec.kind == "leader-failover-mid-switch"
+                                  else "draining")
+            if want != phase:
+                continue
+            self._armed_reconfig_specs.remove(spec)
+            if spec.kind == "leader-failover-mid-switch":
+                leader = self.ensemble.leader
+                if leader is None or leader.crashed:
+                    continue
+                leader.crash()
+                self._record(f"orch-crash m{leader.index} (leader) at "
+                             f"reconfig phase {phase!r} of {list(positions)}")
+            else:
+                target = spec.position
+                if target is None:
+                    target = positions[0] if positions else 0
+                if (target >= self.chain.n_positions
+                        or self.chain.server_at(target).failed):
+                    continue
+                self.chain.fail_position(target)
+                self._record(f"crash p{target} during reconfig phase "
+                             f"{phase!r} of {list(positions)}")
+
+    def _arm_recovery_reconfig(self, spec: FaultSpec) -> None:
+        if self.orchestrator is None:
+            raise ValueError(
+                "reconfig-during-recovery faults need an orchestrator")
+        if not self._armed_recovery_reconfigs:
+            self.orchestrator.recovery_hooks.append(
+                self._on_recovery_reconfig)
+        self._armed_recovery_reconfigs.append(spec)
+
+    def _on_recovery_reconfig(self, phase: str, positions: List[int]) -> None:
+        from ..core.reconfig import ReconfigOp
+        for spec in list(self._armed_recovery_reconfigs):
+            if (spec.phase or "fetching") != phase:
+                continue
+            self._armed_recovery_reconfigs.remove(spec)
+            op = ReconfigOp.parse(spec.operation)
+            if op is None:
+                continue
+            self.orchestrator.request_reconfig(op)
+            self._record(f"reconfig {spec.operation!r} requested during "
+                         f"recovery phase {phase!r} of {positions}")

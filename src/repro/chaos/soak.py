@@ -30,8 +30,8 @@ from .monkey import CTRLPLANE_KIND_WEIGHTS, ChaosMonkey
 from .plan import FaultInjector, FaultPlan
 
 __all__ = ["SoakConfig", "ScheduleResult", "SoakResult", "run_schedule",
-           "run_impaired_schedule", "run_ctrlplane_schedule", "run_soak",
-           "CTRLPLANE_ELECTION"]
+           "run_impaired_schedule", "run_ctrlplane_schedule",
+           "run_reconfig_schedule", "run_soak", "CTRLPLANE_ELECTION"]
 
 #: Deterministic cost model: chaos schedules must be a pure function of
 #: the seed, so processing-time jitter is turned off.
@@ -68,6 +68,15 @@ class SoakConfig:
     #: With ``orchestrators > 1``: also let the monkey crash, partition,
     #: and pause ensemble members (the ``orch-*`` fault kinds).
     orch_faults: bool = False
+    #: Live-reconfiguration soak (PROTOCOL.md §11): each schedule runs
+    #: a scripted sequence of reconfigurations (classifier, rescale,
+    #: migrate, insert, remove) under traffic + lossy links, asserting
+    #: zero loss and zero reorder end to end.
+    reconfig: bool = False
+    #: With ``reconfig``: also crash positions mid-reconfiguration
+    #: (aborts are exercised; the zero-loss assertion is waived since a
+    #: crash inherently loses in-flight packets -- invariants only).
+    reconfig_crashes: bool = False
     #: Record a causal flight log per schedule (implies telemetry for
     #: that schedule); an invariant violation auto-dumps it to
     #: ``flight_dump_dir/flight-<index>.json`` for ``repro explain``.
@@ -101,6 +110,9 @@ class ScheduleResult:
     #: across the run and stale commands the epoch gate rejected.
     elections: int = 0
     fenced_commands: int = 0
+    #: Reconfig schedules only (PROTOCOL.md §11).
+    reconfigs_committed: int = 0
+    reconfigs_aborted: int = 0
     #: Path of the flight dump written for this schedule (flight soaks
     #: that tripped an invariant only).
     flight_dump: Optional[str] = None
@@ -139,6 +151,12 @@ class SoakResult:
             f"detected, {sum(s.recoveries for s in self.schedules)} "
             f"recoveries, {len(self.violations)} invariant violations",
         ]
+        reconfigs = sum(s.reconfigs_committed for s in self.schedules)
+        if reconfigs or any(s.reconfigs_aborted for s in self.schedules):
+            lines.append(
+                f"  reconfigurations: {reconfigs} committed, "
+                f"{sum(s.reconfigs_aborted for s in self.schedules)} "
+                f"aborted")
         elections = sum(s.elections for s in self.schedules)
         if elections:
             lines.append(
@@ -391,6 +409,212 @@ def run_ctrlplane_schedule(seed: int, chain_length: int = 3, f: int = 1,
         fenced_commands=ensemble.gate.fenced_commands)
 
 
+def run_reconfig_schedule(seed: int, chain_length: int = 3, f: int = 1,
+                          drop_rate: float = 0.02, dup_rate: float = 0.01,
+                          reorder_rate: float = 0.01,
+                          corrupt_rate: float = 0.005,
+                          duration_s: float = 80e-3, rate_pps: float = 2e4,
+                          heartbeat_interval_s: float = 1e-3,
+                          crashes: bool = False, orchestrators: int = 1,
+                          index: int = 0,
+                          telemetry: Optional[Telemetry] = None
+                          ) -> ScheduleResult:
+    """One live-reconfiguration schedule (PROTOCOL.md §11).
+
+    A fresh chain with reliable hop channels runs under a data-plane
+    impairment window while a scripted sequence of reconfigurations
+    fires: a classifier update, a vertical rescale, an instance
+    migration, a middlebox insert, and its removal.  The end-to-end
+    contract is audited throughout: every §4/§5 invariant, exactly-once
+    per-flow-ordered egress, per-flow config-version monotonicity (a
+    flow never sees an older config after a newer one), zero loss, and
+    no spurious failover -- a drain + hold must read as a brief delay,
+    never as a dead replica.
+
+    ``crashes=True`` arms crash-during-reconfig faults instead: the
+    zero-loss and no-failover assertions are waived (a crash loses
+    in-flight packets by definition) but every invariant must still
+    hold and every confirmed failure must be failed over.
+    ``orchestrators > 1`` drives the operations through a replicated
+    ensemble and kills the leader mid-switch -- the successor must
+    resume or close the journaled operation, still without loss.
+    """
+    from ..core.reconfig import ClassifierRule, ClassifierSet, ReconfigOp
+    from ..middlebox.monitor import Monitor
+
+    sim = Simulator()
+    cfg_last = {}
+    cfg_inversions = [0]
+
+    def check_cfg(packet):
+        # Per-flow config-version monotonicity at egress: once a flow
+        # egresses a packet stamped with config v, no packet of that
+        # flow stamped with an older config may follow.
+        cfg = packet.meta.get("cfg", 0)
+        last = cfg_last.get(packet.flow, 0)
+        if cfg < last:
+            cfg_inversions[0] += 1
+        else:
+            cfg_last[packet.flow] = cfg
+
+    oracle = ShadowOracle(inner=check_cfg, track_order=True)
+    chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
+                     deliver=oracle, costs=SOAK_COSTS, n_threads=2, seed=seed,
+                     telemetry=telemetry, reliable_links=True)
+    chain.start()
+    if orchestrators > 1:
+        target = OrchestratorEnsemble(
+            sim, chain, n=orchestrators, election=CTRLPLANE_ELECTION,
+            heartbeat_interval_s=heartbeat_interval_s,
+            corroborate_suspects=True)
+        orchestrator = target
+        injector_orch = target
+    else:
+        orchestrator = Orchestrator(sim, chain,
+                                    heartbeat_interval_s=heartbeat_interval_s,
+                                    corroborate_suspects=True)
+        target = orchestrator
+        injector_orch = orchestrator
+    target.start()
+    auditor = InvariantAuditor(
+        chain, oracle=oracle, orchestrator=orchestrator,
+        context={"seed": seed, "schedule": index})
+    plan = FaultPlan().impair_data(
+        at_s=duration_s * 0.1, drop_rate=drop_rate, dup_rate=dup_rate,
+        reorder_rate=reorder_rate, corrupt_rate=corrupt_rate,
+        duration_s=duration_s * 0.7)
+    if crashes:
+        plan.crash_during_reconfig(phase="draining", at_s=0.0)
+    if orchestrators > 1:
+        plan.leader_failover_mid_switch(at_s=0.0)
+    injector = FaultInjector(chain, injector_orch, plan, seed=seed,
+                             ensemble=(target if orchestrators > 1 else None))
+    injector.start()
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate_pps,
+                                 flows=balanced_flows(8, 2))
+
+    # The scripted operation sequence, deterministic in the seed.
+    rng = chain.streams.stream("reconfig-soak")
+    rescale_pos = rng.randrange(chain.n_positions)
+    migrate_pos = rng.randrange(chain.n_positions)
+    ops = [
+        (0.20, ReconfigOp(kind="classifier", classifier=ClassifierSet(
+            version=1, rules=(ClassifierRule(action="allow"),)))),
+        (0.34, ReconfigOp(kind="rescale", position=rescale_pos,
+                          n_threads=3)),
+        (0.48, ReconfigOp(kind="migrate", position=migrate_pos)),
+        (0.60, ReconfigOp(kind="insert", index=1,
+                          middlebox=Monitor(name="soak-probe"))),
+        (0.74, ReconfigOp(kind="remove", middlebox_name="soak-probe")),
+    ]
+    requested = len(ops)
+
+    def submit(op):
+        # A mid-failover ensemble may briefly have no acting leader;
+        # re-submit until one exists (bounded by the schedule's end).
+        if sim.now > duration_s:
+            return
+        try:
+            target.request_reconfig(op)
+        except Exception:
+            sim.schedule_callback(2e-3, lambda op=op: submit(op))
+
+    for fraction, op in ops:
+        sim.schedule_callback(duration_s * fraction,
+                              lambda op=op: submit(op))
+
+    def periodic_audit():
+        auditor.audit()
+        if sim.now + AUDIT_INTERVAL_S < duration_s:
+            sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+
+    sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+    sim.run(until=duration_s)
+    generator.stop()
+    chain.net.heal()
+    chain.net.clear_impairment()
+    # Drain runway: retransmission tails, held packets releasing at
+    # line rate, any resumed reconfiguration after a leader failover.
+    drain = max(60 * heartbeat_interval_s,
+                CTRLPLANE_ELECTION.lease_s * 5 + 40e-3)
+    sim.run(until=duration_s + drain)
+    auditor.audit(quiescent=not crashes)
+    history = list(target.reconfig_history)
+    committed = sum(1 for r in history if r.committed)
+    aborted = sum(1 for r in history if r.aborted)
+
+    violations = list(auditor.violations)
+    if oracle.out_of_order:
+        violations.append(InvariantViolation(
+            invariant="egress-order",
+            detail=f"{oracle.out_of_order} per-flow order inversions",
+            at_s=sim.now))
+    if cfg_inversions[0]:
+        violations.append(InvariantViolation(
+            invariant="cfg-monotonic",
+            detail=f"{cfg_inversions[0]} per-flow config-version "
+                   f"inversions at egress",
+            at_s=sim.now))
+    failures = (target.history if orchestrators > 1
+                else orchestrator.history)
+    if not crashes:
+        if oracle.released != generator.sent:
+            violations.append(InvariantViolation(
+                invariant="egress-loss",
+                detail=f"released {oracle.released} != sent "
+                       f"{generator.sent} across {committed} committed "
+                       f"reconfigurations",
+                at_s=sim.now))
+        chain_failovers = [e for e in failures]
+        if orchestrators == 1 and chain_failovers:
+            violations.append(InvariantViolation(
+                invariant="spurious-failover",
+                detail=f"{len(chain_failovers)} failovers during pure "
+                       f"reconfiguration under a lossy-but-alive data plane",
+                at_s=sim.now))
+        # Every submitted operation must reach a terminal state.  A
+        # leader killed mid-switch may leave its successor unable to
+        # reconstruct the operation (e.g. an insert's middlebox object
+        # cannot ride in the journal); the successor then formally
+        # aborts it -- terminal, not stuck.
+        if committed + aborted < requested:
+            violations.append(InvariantViolation(
+                invariant="reconfig-stuck",
+                detail=f"only {committed}/{requested} reconfigurations "
+                       f"reached a terminal state ({aborted} aborted)",
+                at_s=sim.now))
+    else:
+        failed_now = [p for p in range(chain.n_positions)
+                      if chain.server_at(p).failed]
+        quorum_ok = (target.has_quorum if orchestrators > 1 else True)
+        if failed_now and not chain.degraded and quorum_ok:
+            violations.append(InvariantViolation(
+                invariant="missed-failover",
+                detail=f"positions {failed_now} still failed at "
+                       f"quiescence",
+                at_s=sim.now))
+    target.stop()
+
+    stats = chain.channel_stats()
+    return ScheduleResult(
+        index=index, seed=seed, chain_length=chain_length, f=f,
+        faults=list(injector.injected), violations=violations,
+        released=oracle.released,
+        failures_detected=len(failures),
+        recoveries=sum(1 for e in failures if e.recovered),
+        degraded=chain.degraded,
+        timeline=([] if telemetry is None
+                  else telemetry.timeline.as_dicts()),
+        sent=generator.sent,
+        retransmissions=stats.get("retransmissions", 0),
+        egress_pids=list(oracle.order),
+        elections=(len(target.election_log) if orchestrators > 1 else 0),
+        fenced_commands=(target.gate.fenced_commands
+                         if orchestrators > 1 else 0),
+        reconfigs_committed=committed,
+        reconfigs_aborted=aborted)
+
+
 def run_soak(config: Optional[SoakConfig] = None,
              progress=None) -> SoakResult:
     """Sweep ``config.schedules`` randomized schedules (round-robin over
@@ -413,7 +637,16 @@ def run_soak(config: Optional[SoakConfig] = None,
                                chain_length=chain_length, f=f)
         telemetry = (Telemetry(flight=flight)
                      if config.telemetry or config.flight else None)
-        if config.impair_data is not None:
+        if config.reconfig:
+            schedule = run_reconfig_schedule(
+                seed=seed, chain_length=chain_length, f=f,
+                duration_s=max(config.duration_s, 80e-3),
+                rate_pps=config.rate_pps,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                crashes=config.reconfig_crashes,
+                orchestrators=config.orchestrators,
+                index=index, telemetry=telemetry)
+        elif config.impair_data is not None:
             drop, dup, reorder, corrupt = config.impair_data
             schedule = run_impaired_schedule(
                 seed=seed, chain_length=chain_length, f=f,

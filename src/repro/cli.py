@@ -40,7 +40,7 @@ __all__ = ["main"]
 
 _EXPERIMENTS = ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "fig11", "fig12", "fig13", "ablations", "calibration",
-                "lossy", "ctrlplane"]
+                "lossy", "ctrlplane", "reconfig"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -141,6 +141,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="orch_faults",
                        help="with --orchestrators > 1: also crash, "
                             "partition, and freeze ensemble members")
+    chaos.add_argument("--reconfig", action="store_true",
+                       help="soak live reconfiguration: each schedule "
+                            "drives a scripted operation sequence "
+                            "(classifier, rescale, migrate, insert, "
+                            "remove) under traffic + lossy links and "
+                            "audits zero-loss in-order egress "
+                            "(PROTOCOL.md §11)")
+    chaos.add_argument("--reconfig-crashes", action="store_true",
+                       dest="reconfig_crashes",
+                       help="with --reconfig: also crash a replica "
+                            "mid-drain (zero-loss waived; every other "
+                            "invariant still audited)")
     chaos.add_argument("--flight", nargs="?", const="flight-dumps",
                        default=None, metavar="DIR",
                        help="record a flight log per schedule; an invariant "
@@ -500,6 +512,11 @@ def _cmd_chaos(args) -> int:
     if args.impair_data and args.orchestrators > 1:
         raise SystemExit("repro chaos: --impair-data and --orchestrators "
                          "are separate soak modes; pick one")
+    if args.reconfig and args.impair_data:
+        raise SystemExit("repro chaos: --reconfig runs its own impairment "
+                         "window; drop --impair-data")
+    if args.reconfig_crashes and not args.reconfig:
+        raise SystemExit("repro chaos: --reconfig-crashes needs --reconfig")
 
     impair_data = None
     if args.impair_data:
@@ -516,6 +533,7 @@ def _cmd_chaos(args) -> int:
         duration_s=args.duration, rate_pps=args.rate,
         telemetry=args.telemetry, impair_data=impair_data,
         orchestrators=args.orchestrators, orch_faults=args.orch_faults,
+        reconfig=args.reconfig, reconfig_crashes=args.reconfig_crashes,
         flight=bool(args.flight),
         flight_dump_dir=args.flight or "flight-dumps")
 

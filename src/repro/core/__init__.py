@@ -10,10 +10,21 @@ times.  Failure injection and recovery are exposed for orchestrators
 from .buffer import Buffer
 from .chain import FTCChain
 from .costs import CostModel, DEFAULT_COSTS
-from .fencing import AppliedCommand, EpochGate, StaleEpochError
+from .fencing import AppliedCommand, EpochGate, StaleConfigError, StaleEpochError
 from .depvec import DependencyVector, ProtocolError, ReplicationState
 from .forwarder import Forwarder
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
+from .reconfig import (
+    RECONFIG_KINDS,
+    RECONFIG_PHASES,
+    ChainConfig,
+    ClassifierRule,
+    ClassifierSet,
+    ReconfigError,
+    ReconfigOp,
+    ReconfigReport,
+    apply_reconfig,
+)
 from .recovery import (
     RECOVERY_PHASES,
     RecoveryError,
@@ -28,6 +39,9 @@ from .scaling import RescaleReport, rescale_position
 __all__ = [
     "AppliedCommand",
     "Buffer",
+    "ChainConfig",
+    "ClassifierRule",
+    "ClassifierSet",
     "CommitVector",
     "CostModel",
     "CycleCounters",
@@ -40,14 +54,21 @@ __all__ = [
     "PiggybackLog",
     "PiggybackMessage",
     "ProtocolError",
+    "RECONFIG_KINDS",
+    "RECONFIG_PHASES",
     "RECOVERY_PHASES",
+    "ReconfigError",
+    "ReconfigOp",
+    "ReconfigReport",
     "RecoveryError",
     "RecoveryReport",
     "Replica",
     "RescaleReport",
+    "StaleConfigError",
     "StaleEpochError",
     "ReplicationState",
     "UnrecoverableError",
+    "apply_reconfig",
     "recover_positions",
     "rescale_position",
     "value_bytes",

@@ -86,6 +86,12 @@ class Buffer:
         self.duplicates_dropped = 0
         self.overflow_dropped = 0
         self._seen_pids: "OrderedDict[int, None]" = OrderedDict()
+        #: Config-version boundary (PROTOCOL.md §11): while set,
+        #: packets stamped with this version or newer park until
+        #: :meth:`release_boundary` -- the quiesce barrier guarantees
+        #: no new-config packet egresses before the switch commits.
+        self._boundary: Optional[int] = None
+        self._boundary_parked: List[Tuple[Packet, PiggybackMessage]] = []
         self._alive = True
         self._sender = sim.process(self._feedback_loop(), name=f"{name}/feedback")
 
@@ -93,6 +99,10 @@ class Buffer:
 
     def handle(self, packet: Packet, message: PiggybackMessage) -> float:
         """Process one packet at chain egress; returns CPU cycles spent."""
+        if (self._boundary is not None and packet.is_data
+                and packet.meta.get("cfg", -1) >= self._boundary):
+            self._boundary_parked.append((packet, message))
+            return 0.0
         self.packets_seen += 1
         cycles = self.costs.buffer_cycles
         if packet.pid in self._seen_pids:
@@ -222,6 +232,20 @@ class Buffer:
             released_prefix += 1
         if released_prefix:
             del self.held[:released_prefix]
+
+    def hold_boundary(self, version: int) -> None:
+        """Start parking packets stamped with ``version`` or newer."""
+        self._boundary = version
+        self._boundary_parked = []
+
+    def release_boundary(self) -> None:
+        """Replay boundary-parked packets in order; clear the boundary."""
+        if self._boundary is None:
+            return
+        self._boundary = None
+        parked, self._boundary_parked = self._boundary_parked, []
+        for packet, message in parked:
+            self.handle(packet, message)
 
     def discard_held(self) -> int:
         """Drop every held packet (a mid-chain failure orphaned them).

@@ -24,6 +24,7 @@ from ..sim import AnyOf, RandomStreams, RateLimiter, Simulator
 from ..telemetry import NULL_TELEMETRY
 from .buffer import Buffer
 from .costs import CostModel, DEFAULT_COSTS
+from .fencing import StaleConfigError
 from .forwarder import Forwarder
 from .replica import Replica
 
@@ -81,7 +82,7 @@ class FTCChain:
             self.net.connect(self.route[position], self.route[position + 1])
 
         self.forwarder = Forwarder(
-            sim, inject=lambda pkt: self.replica_at(0).enqueue_local(pkt),
+            sim, inject=self._inject_propagating,
             costs=costs, name=f"{name}/forwarder",
             telemetry=self.telemetry)
         self._feedback_serializer = RateLimiter(
@@ -118,6 +119,23 @@ class FTCChain:
         #: (PROTOCOL.md §9).  ``None`` -- the default -- means commands
         #: are unfenced; single-orchestrator runs allocate nothing.
         self.gate = None
+        #: Live-reconfiguration state (PROTOCOL.md §11).  Every default
+        #: is inert: an unreconfigured chain takes none of these paths
+        #: and stays bit-identical with pre-§11 builds.
+        self.config_version = 0
+        self.classifier = None
+        self.classifier_drops = 0
+        self._stamp_config = False
+        self._holds: Dict[int, object] = {}
+        self._switching: set = set()
+        self._reconfig_seq = 0
+        #: Callables ``(position, old_name, new_name)`` fired on every
+        #: route mutation (recovery re-steer or reconfig switch); the
+        #: orchestrator registers one to refresh its monitored set.
+        self.route_observers: List[Callable[[int, str, str], None]] = []
+        #: Egress count at the instant each middlebox was inserted live
+        #: (auditors account per-middlebox packet counts from there).
+        self.mbox_release_baseline: Dict[str, int] = {}
 
     # -- construction helpers ------------------------------------------------
 
@@ -202,13 +220,53 @@ class FTCChain:
         """Entry point for traffic generators."""
         if packet.created_at == 0.0:
             packet.created_at = self.sim.now
+        if self.classifier is not None and packet.is_data \
+                and not self.classifier.admits(packet.flow):
+            self.classifier_drops += 1
+            return
         self.packets_in += 1
+        if self._stamp_config:
+            packet.meta["cfg"] = self.forwarder.config_epoch
+        hold = self._holds.get(0)
+        if hold is not None and hold.active:
+            hold.park(packet)
+            return
         self.net.deliver_external(self.route[0], packet)
+
+    def _inject_propagating(self, packet: Packet) -> None:
+        """Forwarder-timer injection point for propagating packets.
+
+        While position 0 is mid-switch its workers are down; putting
+        the packet on the old NIC would strand the forwarder's pending
+        logs there, so re-absorb them and let the timer retry once the
+        replacement's workers are up.
+        """
+        replica = self.replica_at(0)
+        if 0 in self._switching:
+            message = packet.detach("ftc")
+            if message is not None:
+                self.forwarder.absorb_feedback(message)
+            return
+        replica.enqueue_local(packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.deliver(packet)
 
     def send_to_position(self, src: int, dst: int, packet: Packet) -> None:
+        hold = self._holds.get(dst)
+        if hold is not None and hold.active:
+            hold.park(packet)
+            return
+        self._send_unheld(src, dst, packet)
+
+    def _forward_released(self, position: int, packet: Packet) -> None:
+        """Re-emit one packet a ReconfigHold parked (bypasses the hold)."""
+        if position == 0:
+            self.net.deliver_external(self.route[0], packet)
+        else:
+            self._send_unheld(position - 1, position, packet)
+
+    def _send_unheld(self, src: int, dst: int, packet: Packet) -> None:
         src_name, dst_name = self.route[src], self.route[dst]
         link = self.net.connect(src_name, dst_name)
         if not self.reliable_links:
@@ -327,9 +385,63 @@ class FTCChain:
             self.buffer.feedback_logs.clear()
         # Hop channels touching the position lose their endpoint state;
         # a new epoch fences any frame/ACK still in flight (§8).
+        self.invalidate_channels(position)
+
+    def invalidate_channels(self, position: int) -> None:
+        """Reset hop channels touching ``position`` after a route change.
+
+        The channel epoch bump fences frames/ACKs still in flight to
+        the retired endpoint; the next send re-binds the channel to the
+        live link (§8, PROTOCOL.md §11).
+        """
         for (src, dst), channel in self._channels.items():
             if position in (src, dst):
                 channel.reset()
+
+    # -- live reconfiguration (PROTOCOL.md §11) --------------------------------
+
+    def note_route_change(self, position: int, old_name: str,
+                          new_name: str) -> None:
+        """Publish a route mutation (recovery re-steer or reconfig switch).
+
+        Flushes any reconfiguration hold still parked on the position
+        (a crash mid-switch leaves the hold orphaned until recovery
+        re-steers) and notifies observers -- the orchestrator resets
+        its heartbeat-miss streak so the replacement is monitored
+        afresh instead of inheriting its predecessor's suspicion.
+        """
+        hold = self._holds.get(position)
+        if hold is not None:
+            hold.begin_release()
+        for observer in list(self.route_observers):
+            observer(position, old_name, new_name)
+
+    def apply_config(self, version: int) -> None:
+        """Advance the chain's config version (strictly monotonic).
+
+        Once any reconfiguration has run, ingress stamps packets with
+        the current version so the buffer can hold the version
+        boundary during later switches.
+        """
+        if version <= self.config_version:
+            raise StaleConfigError(
+                f"config version {version} does not advance "
+                f"{self.config_version}")
+        self.config_version = version
+        self._stamp_config = True
+        self.forwarder.config_epoch = version
+
+    def current_config(self):
+        """An immutable snapshot of the live configuration."""
+        from .reconfig import ChainConfig
+        return ChainConfig(
+            version=self.config_version,
+            route=tuple(self.route),
+            middleboxes=tuple(m.name for m in self.middleboxes),
+            classifier_version=(0 if self.classifier is None
+                                else self.classifier.version),
+            groups=tuple((mbox.name, tuple(self.group_positions(index)))
+                         for index, mbox in enumerate(self.middleboxes)))
 
     # -- statistics -------------------------------------------------------------------
 

@@ -23,11 +23,21 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..telemetry import NULL_TELEMETRY
 
-__all__ = ["StaleEpochError", "AppliedCommand", "EpochGate"]
+__all__ = ["StaleEpochError", "StaleConfigError", "AppliedCommand",
+           "EpochGate"]
 
 
 class StaleEpochError(Exception):
     """A command carried an epoch older than the fence's high-water mark."""
+
+
+class StaleConfigError(Exception):
+    """A chain config version that does not advance the current one.
+
+    Config versions (PROTOCOL.md §11) are strictly monotonic per chain,
+    mirroring how leader epochs are monotonic per ensemble; a switch
+    that replays an old version is rejected rather than applied.
+    """
 
 
 @dataclass(frozen=True)

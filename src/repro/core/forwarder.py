@@ -50,6 +50,9 @@ class Forwarder:
         self.cycles_spent = 0.0
         self.propagating_sent = 0
         self.feedback_received = 0
+        #: Config version ingress stamps packets with (PROTOCOL.md §11);
+        #: advanced by FTCChain.apply_config on every reconfig switch.
+        self.config_epoch = 0
         self._alive = True
         self._timer = sim.process(self._timer_loop(), name=f"{name}/timer")
 

@@ -281,6 +281,7 @@ def recover_positions(chain: FTCChain, positions: List[int],
             # workers would keep mutating state outside the group.
             if not chain.server_at(position).failed:
                 chain.fail_position(position)
+            old_name = chain.route[position]
             chain.route[position] = new_servers[position].name
             chain.replicas[position] = new_replicas[position]
             if position > 0:
@@ -288,6 +289,11 @@ def recover_positions(chain: FTCChain, positions: List[int],
             if position < chain.n_positions - 1:
                 chain.net.connect(chain.route[position], chain.route[position + 1])
             new_replicas[position].start()
+            # Publish the re-steer: observers (the orchestrator's
+            # monitored set) refresh, and any reconfiguration hold a
+            # crash orphaned on this position flushes.
+            chain.note_route_change(position, old_name,
+                                    new_servers[position].name)
         report.rerouting_s = sim.now - reroute_started
         _fire(hooks, "committed", positions)
         flight_phase("committed")

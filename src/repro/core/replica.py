@@ -89,6 +89,8 @@ class Replica:
 
         self.workers: List[Process] = []
         self._watchdog: Optional[Process] = None
+        #: Workers currently inside _handle (reconfig drains poll this).
+        self.busy = 0
         self.packets_handled = 0
         self.propagating_emitted = 0
         self.retransmit_requests = 0
@@ -135,7 +137,11 @@ class Replica:
                 packet = yield queue.get()
                 if self.server.failed:
                     return
-                yield from self._handle(packet, thread_id)
+                self.busy += 1
+                try:
+                    yield from self._handle(packet, thread_id)
+                finally:
+                    self.busy -= 1
         except (Interrupt, CancelledError):
             return
 

@@ -7,21 +7,22 @@ middlebox with a new instance with more CPU cores, or failing over to
 a server with fewer CPU cores" -- and "a middlebox and its replicas
 can run with a different number of threads."
 
-:func:`rescale_position` performs a stop-and-copy replacement: the old
-replica stops admitting packets, its state (store + MAX vector +
-retained logs) transfers to a fresh server with the new thread count,
-and traffic is re-steered.  Because the transfer source is alive, this
-is much faster than failure recovery; packets in flight during the
-switch are dropped exactly as during any re-steering event.
+:func:`rescale_position` is now a thin wrapper over the live
+reconfiguration subsystem (PROTOCOL.md §11): the replacement is
+spawned warm, traffic bound for the position parks in a FIFO hold
+while the position drains to a quiesce point, state (store + MAX
+vector + retained logs) transfers over bounded control RPCs, the route
+switches under a config-version bump, and the held packets release in
+arrival order -- zero drops, zero reorders, unlike the stop-and-copy
+re-steering this function performed before §11.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from .chain import FTCChain
-from .replica import Replica
+from .reconfig import ReconfigOp, apply_reconfig
 
 __all__ = ["rescale_position", "RescaleReport"]
 
@@ -47,52 +48,13 @@ def rescale_position(chain: FTCChain, position: int, new_n_threads: int,
     """
     if new_n_threads < 1:
         raise ValueError("need at least one thread")
-    sim = chain.sim
-    started = sim.now
-    old_replica = chain.replica_at(position)
-    report = RescaleReport(position=position,
-                           old_threads=len(old_replica.server.nic.queues),
-                           new_threads=new_n_threads)
-
-    # 1. Spawn the replacement server with the new core count.
-    saved_threads = chain.n_threads
-    chain.n_threads = new_n_threads
-    try:
-        new_server = chain._new_server(position)
-    finally:
-        chain.n_threads = saved_threads
-    new_replica = Replica(sim, chain, position, new_server,
-                          old_replica.middlebox, costs=chain.costs,
-                          streams=chain.streams, use_htm=chain.use_htm)
-
-    # 2. Quiesce the old replica: stop admitting, freeze all groups so
-    #    the exported snapshots are stable, then transfer each group.
-    old_replica.stop()
-    for state in old_replica.states.values():
-        state.freeze()
-    transfer_started = sim.now
-    for mbox_index, mbox_name in chain.member_mboxes(position):
-        state = old_replica.states[mbox_name]
-        size = (state.store.state_bytes() +
-                sum(log.byte_size(chain.costs) for log in state.retained))
-        report.bytes_transferred += size
-        contents, max_vector, retained = yield chain.net.control_call(
-            new_server.name, chain.route[position],
-            state.export_state, response_bytes=max(size, 64))
-        target = new_replica.states[mbox_name]
-        target.import_state(contents, max_vector, retained)
-        if new_replica.runtime is not None and mbox_index == position:
-            new_replica.runtime.depvec.load(max_vector)
-    report.transfer_s = sim.now - transfer_started
-
-    # 3. Re-steer traffic and retire the old instance.
-    yield sim.timeout(reroute_delay_s)
-    chain.route[position] = new_server.name
-    chain.replicas[position] = new_replica
-    if position > 0:
-        chain.net.connect(chain.route[position - 1], chain.route[position])
-    if position < chain.n_positions - 1:
-        chain.net.connect(chain.route[position], chain.route[position + 1])
-    new_replica.start()
-    report.total_s = sim.now - started
-    return report
+    old_threads = len(chain.replica_at(position).server.nic.queues)
+    op = ReconfigOp(kind="rescale", position=position,
+                    n_threads=new_n_threads)
+    report = yield from apply_reconfig(chain, op,
+                                       reroute_delay_s=reroute_delay_s)
+    return RescaleReport(position=position, old_threads=old_threads,
+                         new_threads=new_n_threads,
+                         transfer_s=report.transfer_s,
+                         total_s=report.total_s,
+                         bytes_transferred=report.bytes_transferred)

@@ -19,6 +19,7 @@ from . import (
     fig11,
     fig12,
     fig13,
+    reconfig,
     table2,
 )
 from .runner import (
@@ -46,6 +47,7 @@ __all__ = [
     "fig13",
     "latency_under_load",
     "quick_mode",
+    "reconfig",
     "saturation_throughput",
     "table2",
 ]

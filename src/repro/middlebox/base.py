@@ -67,6 +67,14 @@ class Middlebox:
         """Handle one packet inside a packet transaction."""
         raise NotImplementedError
 
+    def rescale(self, n_threads: int) -> None:
+        """The hosting instance changed its thread count (live rescale).
+
+        Middleboxes that partition state by thread id must remap here;
+        existing store keys survive the rescale, so any aggregate reads
+        should tolerate keys written under the previous layout.
+        """
+
     def count_packet(self, ctx: TransactionContext) -> None:
         """Bump the processed counter (authoritative executions only)."""
         if ctx.authoritative:

@@ -50,10 +50,24 @@ class Monitor(Middlebox):
             ctx.write(bytes_key, ctx.read(bytes_key, 0) + packet.size)
         return PASS
 
+    def rescale(self, n_threads: int) -> None:
+        if n_threads == self.n_threads:
+            return
+        self.n_threads = n_threads
+        if n_threads % self.sharing_level != 0:
+            # Old counter groups stay in the store; total_count sums
+            # whatever groups exist, so regrouping loses nothing.
+            self.sharing_level = 1
+
     def total_count(self, store) -> int:
-        """Sum of all counter groups in a state store (for tests)."""
-        groups = self.n_threads // self.sharing_level
-        return sum(store.get(("count", group), 0) for group in range(groups))
+        """Sum of all counter groups in a state store (for tests).
+
+        Iterates the store rather than ``range(n_threads)`` so counts
+        written under an earlier thread layout (before a live rescale)
+        are still included.
+        """
+        return sum(value for key, value in store.items()
+                   if isinstance(key, tuple) and key[0] == "count")
 
     def describe(self) -> str:
         return (f"Monitor: read+write per packet, sharing level "

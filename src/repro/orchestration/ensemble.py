@@ -56,21 +56,25 @@ class EnsembleMember(ElectionMember):
             name=f"{ensemble.name}/m{index}",
             telemetry=ensemble.telemetry, **orchestrator_kwargs)
         self.orch.home = server_name
-        #: All members share the ensemble's hook list, so chaos hooks
+        #: All members share the ensemble's hook lists, so chaos hooks
         #: armed once fire regardless of which member currently leads.
         self.orch.recovery_hooks = ensemble.recovery_hooks
+        self.orch.reconfig_hooks = ensemble.reconfig_hooks
         self.orch.on_leadership_lost = self._command_fenced
 
     # -- journal replication (the orchestrator's command guard) ------------------
 
-    def journal_step(self, step: str, positions) -> object:
+    def journal_step(self, step: str, positions, detail: str = "") -> object:
         """Write-ahead journal one command to a quorum; fence by epoch.
 
         A generator (the orchestrator runs it via ``yield from``).
-        Raises :class:`StaleEpochError` when this member's lease has
-        lapsed, a peer has granted a newer epoch, or no majority acks
-        -- any of which means leadership is gone and the side effect
-        must not happen.
+        ``detail`` carries a machine-readable descriptor (reconfig ops
+        journal their :meth:`~repro.core.reconfig.ReconfigOp.describe`
+        string so a successor can rebuild and resume them).  Raises
+        :class:`StaleEpochError` when this member's lease has lapsed, a
+        peer has granted a newer epoch, or no majority acks -- any of
+        which means leadership is gone and the side effect must not
+        happen.
         """
         if not self.lease_valid:
             raise StaleEpochError(
@@ -79,7 +83,8 @@ class EnsembleMember(ElectionMember):
         epoch = self.epoch
         self._seq += 1
         entry = JournalEntry(epoch=epoch, seq=self._seq, step=step,
-                             positions=tuple(positions), t=self.sim.now)
+                             positions=tuple(positions), t=self.sim.now,
+                             detail=detail)
         self.journal.append(entry)
         self.ensemble._m_journal.inc()
         if self._flight.enabled:
@@ -156,11 +161,14 @@ class EnsembleMember(ElectionMember):
                 if entries:
                     self.journal.merge(entries)
             open_positions = self.journal.open_positions()
+            open_reconfigs = self.journal.open_reconfigs()
             if not self.is_leader:
                 return  # deposed while reading journals
             self.orch.epoch = epoch
             self.orch.command_guard = self.journal_step
             self.orch.start(epoch=epoch, resume_open=open_positions)
+            if open_reconfigs:
+                self.orch.resume_reconfigs(open_reconfigs)
         except (Interrupt, CancelledError):
             return
 
@@ -193,6 +201,9 @@ class EnsembleMember(ElectionMember):
         self.orch.command_guard = self.journal_step
         self.orch.start(epoch=epoch,
                         resume_open=self.journal.open_positions())
+        open_reconfigs = self.journal.open_reconfigs()
+        if open_reconfigs:
+            self.orch.resume_reconfigs(open_reconfigs)
 
     def _stop_leading(self) -> None:
         if (self._takeover_proc is not None and self._takeover_proc.is_alive
@@ -248,6 +259,7 @@ class OrchestratorEnsemble:
         #: Shared by every member's orchestrator (chaos hooks survive
         #: leadership changes).
         self.recovery_hooks: List = []
+        self.reconfig_hooks: List = []
         #: ``(epoch, member index)`` per election won, in order -- the
         #: auditor proves at-most-one-leader-per-epoch from this.
         self.election_log: List = []
@@ -392,6 +404,19 @@ class OrchestratorEnsemble:
         for member in self.members:
             out |= member.orch.lost_positions
         return out
+
+    def request_reconfig(self, op, resumed: bool = False):
+        """Submit a reconfiguration to the acting leader (§11)."""
+        from ..core.reconfig import ReconfigError
+        leader = self.leader
+        if leader is None:
+            raise ReconfigError("no acting leader to drive the "
+                                "reconfiguration")
+        return leader.orch.request_reconfig(op, resumed=resumed)
+
+    @property
+    def reconfig_history(self) -> List:
+        return [r for m in self.members for r in m.orch.reconfig_history]
 
     @property
     def history(self) -> List[FailureEvent]:

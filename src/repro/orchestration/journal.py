@@ -26,9 +26,12 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 __all__ = ["JournalEntry", "CommandJournal", "JOURNAL_STEPS"]
 
-#: Every step kind a journal may carry.
+#: Every step kind a journal may carry.  Recovery uses the first five;
+#: live reconfiguration (PROTOCOL.md §11) journals its two-phase apply
+#: through the same write-ahead quorum path.
 JOURNAL_STEPS = ("declare-failed", "spawn", "re-steer", "committed",
-                 "abandoned")
+                 "abandoned", "reconfig-prepare", "reconfig-switch",
+                 "reconfig-commit", "reconfig-abort")
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,7 @@ class JournalEntry:
     step: str
     positions: Tuple[int, ...]
     t: float
+    detail: str = ""
 
     def key(self) -> Tuple[int, int]:
         return (self.epoch, self.seq)
@@ -80,6 +84,21 @@ class CommandJournal:
             elif entry.step in ("committed", "abandoned"):
                 open_set -= set(entry.positions)
         return open_set
+
+    def open_reconfigs(self) -> Dict[Tuple[int, ...], str]:
+        """Prepared reconfigurations with no later commit/abort cover.
+
+        Keyed by the positions tuple; the value is the ``detail`` of
+        the *latest* uncovered prepare, which carries the machine-
+        readable operation descriptor a new leader needs to resume it.
+        """
+        open_map: Dict[Tuple[int, ...], str] = {}
+        for entry in self.entries():
+            if entry.step == "reconfig-prepare":
+                open_map[entry.positions] = entry.detail
+            elif entry.step in ("reconfig-commit", "reconfig-abort"):
+                open_map.pop(entry.positions, None)
+        return open_map
 
     def max_epoch(self) -> int:
         return max((epoch for epoch, _ in self._entries), default=0)

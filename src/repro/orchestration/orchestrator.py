@@ -28,7 +28,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.chain import FTCChain
-from ..core.fencing import StaleEpochError
+from ..core.fencing import StaleConfigError, StaleEpochError
+from ..core.reconfig import (
+    ReconfigError,
+    ReconfigOp,
+    ReconfigReport,
+    apply_reconfig,
+)
 from ..core.recovery import (
     RecoveryError,
     RecoveryReport,
@@ -148,6 +154,12 @@ class Orchestrator:
         #: recovery phase -- the chaos subsystem injects
         #: failures-during-recovery through these.
         self.recovery_hooks: List[Callable[[str, List[int]], None]] = []
+        #: Observers called as ``hook(phase, positions)`` on every live
+        #: reconfiguration phase (PROTOCOL.md §11) -- chaos injects
+        #: crash-during-reconfig through these.
+        self.reconfig_hooks: List[Callable[[str, List[int]], None]] = []
+        #: Completed (or aborted) reconfiguration reports, in order.
+        self.reconfig_history: List[ReconfigReport] = []
         self.history: List[FailureEvent] = []
         self.heartbeats_sent = 0
         self.control_retries = 0
@@ -159,7 +171,18 @@ class Orchestrator:
         self._recovery_driver = None
         self._recovery_inner = None
         self._open_events: List[FailureEvent] = []
+        self._reconfig_procs: Set = set()
+        self._reconfig_active = False
         self._stopping = False
+        # Satellite of §11: a route change (recovery re-steer or a
+        # reconfiguration switch) replaces the monitored instance, so
+        # accumulated misses against the *old* one must not count
+        # toward declaring the *new* one dead -- and, conversely, the
+        # new instance must be probed so a crash right after the
+        # switch is detected.
+        observers = getattr(chain, "route_observers", None)
+        if observers is not None:
+            observers.append(self._on_route_changed)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -205,8 +228,9 @@ class Orchestrator:
         # orchestrator); the active process exits on its own and must
         # not be interrupted mid-stack.
         active = self.sim.active_process
-        for process in (self._process, self._recovery_inner,
-                        self._recovery_driver):
+        for process in ((self._process, self._recovery_inner,
+                         self._recovery_driver)
+                        + tuple(self._reconfig_procs)):
             if process is None or not process.is_alive:
                 continue
             if process is active:
@@ -234,6 +258,16 @@ class Orchestrator:
     @property
     def recovery_in_progress(self) -> bool:
         return self._recovery_driver is not None and self._recovery_driver.is_alive
+
+    @property
+    def reconfig_in_progress(self) -> bool:
+        return any(p.is_alive for p in self._reconfig_procs)
+
+    def _on_route_changed(self, position: int, old_name: str,
+                          new_name: str) -> None:
+        """A new instance serves ``position``: reset its health state."""
+        self._misses[position] = 0
+        self._last_seen_alive[position] = self.sim.now
 
     # -- orchestrator-to-region latency -----------------------------------------------
 
@@ -477,6 +511,13 @@ class Orchestrator:
         self.history.append(event)
         self._open_events.append(event)
         self._recovering_positions |= set(positions)
+        for proc in list(self._reconfig_procs):
+            # §11: recovery preempts reconfiguration.  An operation
+            # racing a confirmed failure aborts (closing its journal
+            # with reconfig-abort); the operator re-requests it once
+            # the chain is whole again.
+            if proc.is_alive and proc is not self.sim.active_process:
+                proc.interrupt(f"failures declared {positions}")
         if self._recovery_inner is not None and self._recovery_inner.is_alive:
             # §5.2: a failure during recovery aborts the running attempt;
             # the driver re-enters with the union of failed positions.
@@ -589,7 +630,7 @@ class Orchestrator:
                 return None
             raise
 
-    def _guard_step(self, step: str, positions: List[int]):
+    def _guard_step(self, step: str, positions: List[int], detail: str = ""):
         """Journal one recovery milestone through the command guard.
 
         Returns True to proceed; False -- after declaring leadership
@@ -598,11 +639,115 @@ class Orchestrator:
         if self.command_guard is None:
             return True
         try:
-            yield from self.command_guard(step, positions)
+            if detail:
+                yield from self.command_guard(step, positions, detail)
+            else:
+                yield from self.command_guard(step, positions)
         except StaleEpochError as exc:
             self._leadership_lost(exc)
             return False
         return True
+
+    # -- live reconfiguration (PROTOCOL.md §11) ----------------------------------------
+
+    def request_reconfig(self, op: ReconfigOp, resumed: bool = False):
+        """Drive one reconfiguration asynchronously; returns the process.
+
+        The operation waits for any in-flight recovery to finish (and
+        for earlier operations to commit -- requests serialize), then
+        runs :func:`~repro.core.reconfig.apply_reconfig` under this
+        orchestrator's epoch/journal.  The outcome is appended to
+        ``reconfig_history``.
+        """
+        proc = self.sim.process(
+            self._drive_reconfig(op, resumed=resumed),
+            name=f"{self.name}/reconfig-{op.kind}")
+        self._reconfig_procs.add(proc)
+        return proc
+
+    def resume_reconfigs(self, open_map: Dict) -> None:
+        """Re-drive reconfigurations the journal shows as uncovered.
+
+        ``open_map`` is :meth:`CommandJournal.open_reconfigs`:
+        positions-tuple -> the prepare's ``detail`` descriptor.  Ops
+        the descriptor can rebuild are re-run from scratch (prepare is
+        idempotent: it spawns fresh resources each time); the rest --
+        inserts and classifier updates, whose live objects a journal
+        cannot carry -- are closed with a journaled ``reconfig-abort``
+        so no entry dangles forever.
+        """
+        for positions, detail in sorted(open_map.items()):
+            op = ReconfigOp.parse(detail)
+            self.telemetry.timeline.record(
+                "journal-replayed", list(positions),
+                detail=(f"resuming reconfiguration: {detail}" if op
+                        else f"closing unresumable reconfiguration: {detail}"),
+                t=self.sim.now)
+            if self._flight.enabled:
+                self._flight.record(
+                    "orch", "journal-replayed", t=self.sim.now,
+                    epoch=self.epoch,
+                    detail=(("resuming" if op else "closing") +
+                            f" reconfiguration {detail} "
+                            f"positions={list(positions)}"),
+                    chain="ctrl")
+            if op is not None:
+                self.request_reconfig(op, resumed=True)
+            else:
+                self.sim.process(
+                    self._close_reconfig(list(positions), detail),
+                    name=f"{self.name}/reconfig-close")
+
+    def _close_reconfig(self, positions: List[int], detail: str):
+        yield from self._guard_step("reconfig-abort", positions, detail)
+        self.reconfig_history.append(ReconfigReport(
+            op=None, aborted=True, resumed=True,
+            detail=f"closed open reconfiguration: {detail}"))
+
+    def _drive_reconfig(self, op: ReconfigOp, resumed: bool = False):
+        acquired = False
+        try:
+            while self._recovering_positions or self._reconfig_active:
+                yield self.sim.timeout(self.heartbeat_interval_s)
+            self._reconfig_active = True
+            acquired = True
+            try:
+                report = yield from apply_reconfig(
+                    self.chain, op, epoch=self.epoch,
+                    journal=self.command_guard, hooks=self.reconfig_hooks,
+                    reroute_delay_s=REROUTE_DELAY_S, resumed=resumed)
+            except StaleEpochError as exc:
+                self._leadership_lost(exc)
+                return
+            except (ReconfigError, StaleConfigError) as exc:
+                # The op unwound (holds flushing, state thawed); close
+                # its journal so no successor tries to resume it.
+                yield from self._guard_step(
+                    "reconfig-abort", list(op.journal_positions()),
+                    op.describe())
+                self.reconfig_history.append(ReconfigReport(
+                    op=op, aborted=True, resumed=resumed, detail=str(exc)))
+                return
+            self.reconfig_history.append(report)
+        except (Interrupt, CancelledError):
+            if not self._stopping:
+                # Preempted by recovery (or chaos): the apply's finally
+                # blocks aborted it; close the journal entry.
+                yield from self._guard_step(
+                    "reconfig-abort", list(op.journal_positions()),
+                    op.describe())
+                self.reconfig_history.append(ReconfigReport(
+                    op=op, aborted=True, resumed=resumed,
+                    detail="interrupted"))
+            return
+        except StaleEpochError as exc:
+            # A fence inside the journal-close path: leadership gone.
+            self._leadership_lost(exc)
+            return
+        finally:
+            if acquired:
+                self._reconfig_active = False
+            self._reconfig_procs.discard(self.sim.active_process)
 
     def _reprobe_suspects(self):
         """Re-ping every suspected position; un-suspect the live ones.

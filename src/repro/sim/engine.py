@@ -281,6 +281,12 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not target.callbacks and not target.triggered:
+                # Nobody is left waiting: withdraw the event so a
+                # resource dispatcher never assigns an item to it (an
+                # orphaned queue getter would silently swallow the
+                # item otherwise).
+                target._cancelled = True
 
 
 class _Condition(Event):

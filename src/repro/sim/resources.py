@@ -108,14 +108,17 @@ class Store:
             progressed = False
             while self._putters and len(self.items) < self.capacity:
                 putter = self._putters.popleft()
-                if putter.triggered:
+                if putter.triggered or putter._cancelled:
                     continue
                 self.items.append(putter.item)
                 putter.succeed()
                 progressed = True
             while self._getters and self.items:
                 getter = self._getters.popleft()
-                if getter.triggered:
+                if getter.triggered or getter._cancelled:
+                    # A withdrawn getter (its process was interrupted
+                    # away) must not consume an item: succeed() on a
+                    # cancelled event is a silent no-op.
                     continue
                 getter.succeed(self.items.popleft())
                 progressed = True
@@ -152,7 +155,7 @@ class Resource:
     def _dispatch(self) -> None:
         while self._waiters and len(self.users) < self.capacity:
             waiter = self._waiters.popleft()
-            if waiter.triggered:
+            if waiter.triggered or waiter._cancelled:
                 continue
             self.users.append(waiter)
             waiter.succeed()

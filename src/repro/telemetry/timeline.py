@@ -34,6 +34,11 @@ TIMELINE_EVENT_KINDS = (
     # Control-plane replication events (PROTOCOL.md §9).
     "leader-elected", "stepped-down", "leader-resumed", "fenced",
     "journal-replayed",
+    # Live reconfiguration phases (PROTOCOL.md §11).  Prefixed so the
+    # recovery-attempt parser above never mistakes them for §5.2 phases.
+    "reconfig-preparing", "reconfig-prepared", "reconfig-draining",
+    "reconfig-quiesced", "reconfig-switching", "reconfig-committed",
+    "reconfig-aborted",
 )
 
 #: The per-phase duration names of one attempt (Fig 13's columns).
