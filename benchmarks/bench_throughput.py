@@ -1,0 +1,128 @@
+"""Data-plane throughput benchmark: baseline vs reliability vs overload.
+
+Measures *simulator* throughput (simulated packets per wall-clock
+second) for three configurations of the same Ch-2 chain:
+
+* **baseline** -- raw links, no overload machinery (the fig5/fig13
+  fast path that must stay byte-identical);
+* **reliable-links** -- hop channels with sequencing + retransmission
+  armed (PROTOCOL.md §8) on a clean network;
+* **overload-on** -- admission control + backpressure bus + SLO
+  watchdog + brownout wired (PROTOCOL.md §12) under admissible load.
+
+The point is a regression fence: the overload machinery must price in
+at a modest constant factor, not change the complexity class.  Results
+go to ``BENCH_throughput.json`` (CI uploads it as an artifact).
+
+Run directly (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+or under pytest, where it asserts the overload slowdown stays sane.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core import FTCChain
+from repro.core.admission import AdmissionControl, BackpressureBus
+from repro.flight.slo import SLOObjective, SLOWatchdog, run_probes
+from repro.metrics import EgressRecorder
+from repro.middlebox import ch_n
+from repro.net import TrafficGenerator, balanced_flows
+from repro.orchestration.brownout import BrownoutController
+from repro.sim import Simulator
+
+OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
+
+RATE_PPS = 2e5
+DURATION_S = 30e-3
+SEED = 0
+
+#: Overload-on runs must simulate no worse than this factor slower
+#: than baseline (generous: the machinery is O(1) per packet).
+MAX_SLOWDOWN = 3.0
+
+
+def _build(mode: str):
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    admission = None
+    if mode == "overload-on":
+        # Budget far above offered load: the gate runs its full per-
+        # packet path (bus level, floors, token take) but admits all,
+        # so the three modes push comparable packet counts.
+        admission = AdmissionControl(sim, rate_pps=RATE_PPS * 2,
+                                     bus=BackpressureBus())
+    chain = FTCChain(sim, ch_n(2, n_threads=2), f=1, deliver=egress,
+                     n_threads=2, seed=SEED,
+                     reliable_links=(mode == "reliable-links"),
+                     admission=admission)
+    chain.start()
+    if mode == "overload-on":
+        watchdog = SLOWatchdog(
+            sim, [SLOObjective("p99_latency_us", "<=", 1e6)],
+            probes=run_probes(egress, chain=chain))
+        watchdog.start()
+        BrownoutController(sim, watchdog, admission=admission,
+                           buffer=chain.buffer)
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=RATE_PPS,
+                                 flows=balanced_flows(8, 2))
+    return sim, chain, generator, egress
+
+
+def run_mode(mode: str) -> dict:
+    sim, chain, generator, egress = _build(mode)
+    t0 = time.perf_counter()
+    sim.run(until=DURATION_S)
+    generator.stop()
+    sim.run(until=DURATION_S + 5e-3)
+    wall_s = time.perf_counter() - t0
+    return {
+        "mode": mode,
+        "offered": generator.sent,
+        "released": egress.count,
+        "wall_s": round(wall_s, 4),
+        "sim_pps_per_wall_s": round(egress.count / wall_s),
+    }
+
+
+def run_all() -> dict:
+    results = [run_mode(m)
+               for m in ("baseline", "reliable-links", "overload-on")]
+    base = results[0]["sim_pps_per_wall_s"]
+    report = {
+        "benchmark": "data-plane throughput (simulated packets / wall s)",
+        "rate_pps": RATE_PPS,
+        "duration_s": DURATION_S,
+        "seed": SEED,
+        "results": results,
+        "slowdown_vs_baseline": {
+            r["mode"]: round(base / max(1, r["sim_pps_per_wall_s"]), 3)
+            for r in results},
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_throughput_regression():
+    """Overload machinery must not change the simulation's complexity
+    class; every mode must deliver what it admitted."""
+    report = run_all()
+    for result in report["results"]:
+        assert result["released"] == result["offered"], result
+    slowdown = report["slowdown_vs_baseline"]["overload-on"]
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"overload-on simulates {slowdown:.2f}x slower than baseline "
+        f"(limit {MAX_SLOWDOWN}x)")
+
+
+def main() -> None:
+    report = run_all()
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,22 +18,26 @@ from .monkey import (
     CTRLPLANE_KIND_WEIGHTS,
     ChaosMonkey,
     DEFAULT_KIND_WEIGHTS,
+    OVERLOAD_KIND_WEIGHTS,
 )
 from .plan import (
     FAULT_KINDS,
     IMPAIRED_DELIVERY,
     ORCH_FAULT_KINDS,
+    OVERLOAD_FAULT_KINDS,
     RECONFIG_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
 )
 from .soak import (
+    OverloadSpec,
     ScheduleResult,
     SoakConfig,
     SoakResult,
     run_ctrlplane_schedule,
     run_impaired_schedule,
+    run_overload_schedule,
     run_reconfig_schedule,
     run_schedule,
     run_soak,
@@ -46,18 +50,22 @@ __all__ = [
     "FAULT_KINDS",
     "IMPAIRED_DELIVERY",
     "ORCH_FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
+    "OVERLOAD_KIND_WEIGHTS",
     "RECONFIG_FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "InvariantAuditor",
     "InvariantViolation",
+    "OverloadSpec",
     "ScheduleResult",
     "ShadowOracle",
     "SoakConfig",
     "SoakResult",
     "run_ctrlplane_schedule",
     "run_impaired_schedule",
+    "run_overload_schedule",
     "run_reconfig_schedule",
     "run_schedule",
     "run_soak",

@@ -111,10 +111,12 @@ class InvariantAuditor:
     """Checks the §4/§5 invariants on a live chain."""
 
     def __init__(self, chain: FTCChain, oracle: Optional[ShadowOracle] = None,
-                 orchestrator=None, context: Optional[Dict[str, Any]] = None):
+                 orchestrator=None, context: Optional[Dict[str, Any]] = None,
+                 brownout=None):
         self.chain = chain
         self.oracle = oracle
         self.orchestrator = orchestrator
+        self.brownout = brownout
         #: Run provenance (seed, chain config, schedule index) stamped
         #: onto every violation so a bare assertion message in a CI log
         #: is enough to reproduce the failing run.
@@ -295,6 +297,102 @@ class InvariantAuditor:
                     f"{old!r} re-steered under epoch {first.epoch} and "
                     f"again under epoch {command.epoch}")
 
+    def check_overload(self) -> None:
+        """PROTOCOL.md §12 invariants on an admission-gated chain.
+
+        Only active when the chain carries an
+        :class:`~repro.core.admission.AdmissionControl`:
+
+        * **no-in-chain-drop**: with ingress shedding in force nothing
+          past the classifier may be dropped -- every NIC's
+          ``rx_dropped`` and the buffer's overflow counter must be
+          zero (an in-chain drop loses replicated state the piggyback
+          protocol already accounted for);
+        * **queue-bounds**: every registered pressure source's peak
+          occupancy stays within the largest bound that was in force
+          (chaos may shrink a bound below already-enqueued work);
+        * **shed-conservation**: ``offered == admitted + shed``,
+          overall and per class -- no packet vanishes at the gate
+          without being counted and flight-logged;
+        * **shed-ordering**: cumulative shed fractions are monotone
+          non-increasing with priority class (lower classes starve
+          first, by at least as much).
+        """
+        admission = self.chain.admission
+        if admission is None:
+            return
+        for position, replica in enumerate(self.chain.replicas):
+            nic = replica.server.nic
+            if nic.rx_dropped:
+                self._flag("no-in-chain-drop",
+                           f"NIC at p{position} tail-dropped "
+                           f"{nic.rx_dropped} packets despite admission gate")
+        if self.chain.buffer.overflow_dropped:
+            self._flag("no-in-chain-drop",
+                       f"buffer overflow-dropped "
+                       f"{self.chain.buffer.overflow_dropped} packets "
+                       f"despite admission gate")
+        if admission.bus is not None:
+            for source in admission.bus.sources:
+                limit = max(source.bound_peak, source.bound)
+                if source.peak > limit:
+                    self._flag("queue-bounds",
+                               f"pressure source {source.name!r} peaked at "
+                               f"{source.peak} > bound {limit}")
+        if admission.offered != admission.admitted + admission.shed:
+            self._flag("shed-conservation",
+                       f"offered {admission.offered} != admitted "
+                       f"{admission.admitted} + shed {admission.shed}")
+        for cls in range(admission.n_classes):
+            offered = admission.offered_by_class[cls]
+            accounted = (admission.admitted_by_class[cls]
+                         + admission.shed_by_class[cls])
+            if offered != accounted:
+                self._flag("shed-conservation",
+                           f"class {cls}: offered {offered} != "
+                           f"admitted+shed {accounted}")
+        fractions = [
+            (admission.shed_by_class[cls] / offered if offered else 0.0)
+            for cls in range(admission.n_classes)
+            for offered in (admission.offered_by_class[cls],)]
+        for cls in range(1, admission.n_classes):
+            # Tolerance absorbs integer granularity on tiny samples.
+            if (admission.offered_by_class[cls] >= 100
+                    and admission.offered_by_class[cls - 1] >= 100
+                    and fractions[cls] > fractions[cls - 1] + 0.05):
+                self._flag(
+                    "shed-ordering",
+                    f"class {cls} shed {fractions[cls]:.1%} > lower "
+                    f"class {cls - 1} shed {fractions[cls - 1]:.1%}")
+
+    def check_brownout(self, quiescent: bool = False) -> None:
+        """§12.3: brownout transitions are journaled 1:1 and the
+        controller always returns to level 0 once pressure clears."""
+        brownout = self.brownout
+        if brownout is None:
+            return
+        if brownout.journal is not None \
+                and brownout.transitions != brownout.journaled:
+            self._flag(
+                "brownout-journal",
+                f"{len(brownout.transitions)} transitions vs "
+                f"{len(brownout.journaled)} journaled entries")
+        enters = sum(1 for tr in brownout.transitions if tr.kind == "enter")
+        exits = sum(1 for tr in brownout.transitions if tr.kind == "exit")
+        if quiescent:
+            if not brownout.balanced():
+                self._flag(
+                    "brownout-exit",
+                    f"still at level {brownout.level} at quiescence "
+                    f"(timeline: {brownout.timeline()})")
+            if enters != exits:
+                self._flag(
+                    "brownout-exit",
+                    f"{enters} enters vs {exits} exits at quiescence")
+        elif exits > enters:
+            self._flag("brownout-exit",
+                       f"{exits} exits but only {enters} enters")
+
     def check_convergence(self) -> None:
         """Invariant 4 (quiescent): group members hold identical state."""
         for index, mbox in enumerate(self.chain.middleboxes):
@@ -331,6 +429,10 @@ class InvariantAuditor:
         # Election safety holds regardless of data-plane degradation --
         # a degraded chain still must not see two fenced leaders.
         self.check_control_plane()
+        # Overload invariants hold even degraded: shedding stays at
+        # ingress and counted no matter what the data plane lost.
+        self.check_overload()
+        self.check_brownout(quiescent=quiescent)
         if self.chain.degraded:
             return self.violations[before:]
         self.check_log_propagation()

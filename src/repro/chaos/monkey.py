@@ -44,6 +44,17 @@ CTRLPLANE_KIND_WEIGHTS: Dict[str, float] = {
     "stale-leader-resume": 0.15,
 }
 
+#: The opt-in mix for overload soaks (PROTOCOL.md §12): flash crowds
+#: and slow middleboxes pile pressure on while crashes keep recovery
+#: in flight, proving admission + backpressure hold the replication
+#: invariant with everything happening at once.
+OVERLOAD_KIND_WEIGHTS: Dict[str, float] = {
+    "crash": 0.25,
+    "flash-crowd": 0.35,
+    "slow-middlebox": 0.25,
+    "queue-pressure": 0.15,
+}
+
 
 class ChaosMonkey:
     """A process injecting random (but seed-reproducible) faults."""
@@ -65,6 +76,9 @@ class ChaosMonkey:
                  orch_restart_after_s: float = 15e-3,
                  orch_partition_s: float = 8e-3,
                  orch_pause_s: float = 12e-3,
+                 workload=None,
+                 overload_factor: float = 4.0,
+                 overload_duration_s: float = 6e-3,
                  stream: str = "chaos-monkey"):
         self.chain = chain
         self.orchestrator = orchestrator
@@ -75,6 +89,10 @@ class ChaosMonkey:
         self.orch_restart_after_s = orch_restart_after_s
         self.orch_partition_s = orch_partition_s
         self.orch_pause_s = orch_pause_s
+        #: Target of the ``flash-crowd`` kind (a WorkloadGenerator).
+        self.workload = workload
+        self.overload_factor = overload_factor
+        self.overload_duration_s = overload_duration_s
         self.mean_interval_s = mean_interval_s
         self.kind_weights = dict(kind_weights or DEFAULT_KIND_WEIGHTS)
         self.max_faults = max_faults
@@ -154,6 +172,12 @@ class ChaosMonkey:
                     self._do_orch_partition()
                 elif kind == "stale-leader-resume":
                     self._do_stale_leader_resume()
+                elif kind == "flash-crowd":
+                    self._do_flash_crowd()
+                elif kind == "slow-middlebox":
+                    self._do_slow_middlebox()
+                elif kind == "queue-pressure":
+                    self._do_queue_pressure()
                 else:
                     self._do_impair()
         except (Interrupt, CancelledError):
@@ -245,6 +269,48 @@ class ChaosMonkey:
         leader.pause(self.orch_pause_s)
         self._record(f"pause leader m{leader.index} for "
                      f"{self.orch_pause_s * 1e3:.1f}ms (stale resume ahead)")
+
+    # -- overload kinds (PROTOCOL.md §12) ----------------------------------------
+
+    def _do_flash_crowd(self) -> None:
+        workload = self.workload
+        if workload is None:
+            return
+        factor = self.overload_factor
+        workload.boost *= factor
+        self.chain.sim.schedule_callback(
+            self.overload_duration_s,
+            lambda: setattr(workload, "boost", workload.boost / factor))
+        self._record(f"flash-crowd x{factor:g} for "
+                     f"{self.overload_duration_s * 1e3:.1f}ms")
+
+    def _do_slow_middlebox(self) -> None:
+        index = self.rng.randrange(self.chain.n_mboxes)
+        mbox = self.chain.middleboxes[index]
+        original = mbox.processing_cycles
+        base = (original if original is not None
+                else self.chain.costs.processing_cycles)
+        mbox.processing_cycles = base * self.overload_factor
+
+        def restore():
+            mbox.processing_cycles = original
+
+        self.chain.sim.schedule_callback(self.overload_duration_s, restore)
+        self._record(f"slow-middlebox {mbox.name} x{self.overload_factor:g} "
+                     f"for {self.overload_duration_s * 1e3:.1f}ms")
+
+    def _do_queue_pressure(self) -> None:
+        buffer = self.chain.buffer
+        original = buffer.max_held
+        buffer.max_held = max(64, int(original / self.overload_factor))
+
+        def restore():
+            buffer.max_held = original
+
+        self.chain.sim.schedule_callback(self.overload_duration_s, restore)
+        self._record(f"queue-pressure buffer bound {original} -> "
+                     f"{buffer.max_held} for "
+                     f"{self.overload_duration_s * 1e3:.1f}ms")
 
     def _arm_recovery_crash(self) -> None:
         """Next recovery that reaches the fetching phase loses a source."""

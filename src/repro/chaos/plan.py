@@ -22,7 +22,8 @@ from ..core.chain import FTCChain
 from ..orchestration.orchestrator import Orchestrator
 
 __all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULT_KINDS",
-           "IMPAIRED_DELIVERY", "RECONFIG_FAULT_KINDS"]
+           "IMPAIRED_DELIVERY", "RECONFIG_FAULT_KINDS",
+           "OVERLOAD_FAULT_KINDS"]
 
 #: The data-plane adversity kind (PROTOCOL.md §8): chain links drop,
 #: duplicate, reorder, and corrupt packets for a window.
@@ -41,9 +42,15 @@ ORCH_FAULT_KINDS = ("orch-crash", "orch-partition", "stale-leader-resume")
 RECONFIG_FAULT_KINDS = ("crash-during-reconfig", "leader-failover-mid-switch",
                         "reconfig-during-recovery")
 
+#: Overload fault kinds (PROTOCOL.md §12): multiply the workload
+#: generator's rate for a window, slow one middlebox's per-packet
+#: cycle cost, or squeeze the egress buffer's held-set bound.
+OVERLOAD_FAULT_KINDS = ("flash-crowd", "slow-middlebox", "queue-pressure")
+
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "crash-during-recovery", "impair-control",
-               IMPAIRED_DELIVERY) + ORCH_FAULT_KINDS + RECONFIG_FAULT_KINDS
+               IMPAIRED_DELIVERY) + ORCH_FAULT_KINDS + RECONFIG_FAULT_KINDS \
+              + OVERLOAD_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,18 @@ class FaultSpec:
         :meth:`~repro.core.reconfig.ReconfigOp.describe` string) --
         the request must serialize behind the recovery, never corrupt
         it.
+    ``kind="flash-crowd"``
+        From ``at_s``, multiply the workload generator's offered load
+        by ``factor`` for ``duration_s`` (needs a ``workload`` target
+        on the injector).
+    ``kind="slow-middlebox"``
+        From ``at_s``, multiply middlebox ``position``'s per-packet
+        processing cycles by ``factor`` for ``duration_s`` -- a hot
+        middlebox becoming the bottleneck, the classic overload cause.
+    ``kind="queue-pressure"``
+        From ``at_s``, divide the egress buffer's held-set bound by
+        ``factor`` for ``duration_s``, forcing backpressure to engage
+        far below the normal watermark.
     """
 
     kind: str
@@ -111,10 +130,16 @@ class FaultSpec:
     member: Optional[int] = None
     restart_after_s: Optional[float] = None
     operation: Optional[str] = None
+    factor: float = 4.0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in OVERLOAD_FAULT_KINDS:
+            if self.duration_s is None:
+                raise ValueError(f"{self.kind} faults need a duration_s")
+            if self.factor <= 1.0:
+                raise ValueError(f"{self.kind} factor must be > 1")
         if self.kind == "crash" and self.position is None:
             raise ValueError("crash faults need a position")
         if self.kind == "crash-during-recovery" and self.phase is None:
@@ -158,6 +183,11 @@ class FaultSpec:
             return (f"request {self.operation!r} at recovery phase "
                     f"{(self.phase or 'fetching')!r} "
                     f"(armed @ {self.at_s * 1e3:.2f}ms)")
+        if self.kind in OVERLOAD_FAULT_KINDS:
+            where = "" if self.position is None else f" p{self.position}"
+            return (f"{self.kind}{where} x{self.factor:g} for "
+                    f"{self.duration_s * 1e3:.2f}ms "
+                    f"@ {self.at_s * 1e3:.2f}ms")
         if self.kind == IMPAIRED_DELIVERY:
             return (f"impair data drop={self.drop_rate} dup={self.dup_rate} "
                     f"reorder={self.reorder_rate} "
@@ -237,6 +267,23 @@ class FaultPlan:
         return self.add(FaultSpec(kind="reconfig-during-recovery", at_s=at_s,
                                   operation=operation, phase=phase))
 
+    def flash_crowd(self, at_s: float, duration_s: float,
+                    factor: float = 4.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="flash-crowd", at_s=at_s,
+                                  duration_s=duration_s, factor=factor))
+
+    def slow_middlebox(self, at_s: float, duration_s: float,
+                       factor: float = 8.0,
+                       position: Optional[int] = None) -> "FaultPlan":
+        return self.add(FaultSpec(kind="slow-middlebox", at_s=at_s,
+                                  duration_s=duration_s, factor=factor,
+                                  position=position))
+
+    def queue_pressure(self, at_s: float, duration_s: float,
+                       factor: float = 16.0) -> "FaultPlan":
+        return self.add(FaultSpec(kind="queue-pressure", at_s=at_s,
+                                  duration_s=duration_s, factor=factor))
+
     def describe(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults,
                                                    key=lambda s: s.at_s)]
@@ -246,7 +293,8 @@ class FaultInjector:
     """Arms a :class:`FaultPlan` against a chain + orchestrator."""
 
     def __init__(self, chain: FTCChain, orchestrator: Optional[Orchestrator],
-                 plan: FaultPlan, seed: int = 0, ensemble=None):
+                 plan: FaultPlan, seed: int = 0, ensemble=None,
+                 workload=None):
         self.chain = chain
         self.orchestrator = orchestrator
         self.plan = plan
@@ -254,6 +302,9 @@ class FaultInjector:
         #: The :class:`~repro.orchestration.ensemble.OrchestratorEnsemble`
         #: the ``orch-*`` fault kinds act on.
         self.ensemble = ensemble
+        #: The :class:`~repro.net.flowgen.WorkloadGenerator` the
+        #: ``flash-crowd`` fault kind boosts.
+        self.workload = workload
         #: (fire time, human-readable description) per executed fault.
         self.injected: List[Tuple[float, str]] = []
         self._armed_phase_specs: List[FaultSpec] = []
@@ -273,6 +324,9 @@ class FaultInjector:
             "crash-during-reconfig": self._arm_reconfig_spec,
             "leader-failover-mid-switch": self._arm_reconfig_spec,
             "reconfig-during-recovery": self._arm_recovery_reconfig,
+            "flash-crowd": self._flash_crowd,
+            "slow-middlebox": self._slow_middlebox,
+            "queue-pressure": self._queue_pressure,
         }
         for spec in self.plan.faults:
             if (spec.kind in ORCH_FAULT_KINDS
@@ -280,6 +334,9 @@ class FaultInjector:
                     and self.ensemble is None:
                 raise ValueError(
                     f"{spec.kind} faults need an orchestrator ensemble")
+            if spec.kind == "flash-crowd" and self.workload is None:
+                raise ValueError(
+                    "flash-crowd faults need a workload generator target")
             sim.schedule_callback(
                 max(0.0, spec.at_s - sim.now),
                 lambda spec=spec, run=executors[spec.kind]: run(spec))
@@ -408,6 +465,50 @@ class FaultInjector:
                 self.chain.fail_position(target)
                 self._record(f"crash p{target} during reconfig phase "
                              f"{phase!r} of {list(positions)}")
+
+    # -- overload fault kinds (PROTOCOL.md §12) ----------------------------------
+
+    def _flash_crowd(self, spec: FaultSpec) -> None:
+        workload = self.workload
+        workload.boost *= spec.factor
+
+        def subside():
+            workload.boost /= spec.factor
+            self._record(f"flash-crowd subsided (boost {workload.boost:g})")
+
+        self.chain.sim.schedule_callback(spec.duration_s, subside)
+        self._record(f"flash-crowd x{spec.factor:g} for "
+                     f"{spec.duration_s * 1e3:.2f}ms")
+
+    def _slow_middlebox(self, spec: FaultSpec) -> None:
+        index = spec.position if spec.position is not None else 0
+        index = min(index, self.chain.n_mboxes - 1)
+        mbox = self.chain.middleboxes[index]
+        original = mbox.processing_cycles
+        base = (original if original is not None
+                else self.chain.costs.processing_cycles)
+        mbox.processing_cycles = base * spec.factor
+
+        def restore():
+            mbox.processing_cycles = original
+            self._record(f"slow-middlebox {mbox.name} restored")
+
+        self.chain.sim.schedule_callback(spec.duration_s, restore)
+        self._record(f"slow-middlebox {mbox.name} x{spec.factor:g} for "
+                     f"{spec.duration_s * 1e3:.2f}ms")
+
+    def _queue_pressure(self, spec: FaultSpec) -> None:
+        buffer = self.chain.buffer
+        original = buffer.max_held
+        buffer.max_held = max(64, int(original / spec.factor))
+
+        def restore():
+            buffer.max_held = original
+            self._record("queue-pressure released")
+
+        self.chain.sim.schedule_callback(spec.duration_s, restore)
+        self._record(f"queue-pressure buffer bound {original} -> "
+                     f"{buffer.max_held} for {spec.duration_s * 1e3:.2f}ms")
 
     def _arm_recovery_reconfig(self, spec: FaultSpec) -> None:
         if self.orchestrator is None:

@@ -17,13 +17,18 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core import FTCChain
+from ..core.admission import AdmissionControl, BackpressureBus
 from ..core.costs import CostModel
 from ..flight import FlightRecorder
+from ..flight.slo import SLOObjective, SLOWatchdog, run_probes
+from ..metrics.meters import EgressRecorder
 from ..middlebox import ch_n
 from ..net import TrafficGenerator, balanced_flows
+from ..net.flowgen import FlashCrowd, WorkloadGenerator, WorkloadSpec
 from ..orchestration import Orchestrator, OrchestratorEnsemble
+from ..orchestration.brownout import BrownoutController
 from ..orchestration.election import ElectionConfig
-from ..sim import Simulator
+from ..sim import RandomStreams, Simulator
 from ..telemetry import MetricRegistry, Telemetry
 from .auditor import InvariantAuditor, InvariantViolation, ShadowOracle
 from .monkey import CTRLPLANE_KIND_WEIGHTS, ChaosMonkey
@@ -31,14 +36,126 @@ from .plan import FaultInjector, FaultPlan
 
 __all__ = ["SoakConfig", "ScheduleResult", "SoakResult", "run_schedule",
            "run_impaired_schedule", "run_ctrlplane_schedule",
-           "run_reconfig_schedule", "run_soak", "CTRLPLANE_ELECTION"]
+           "run_reconfig_schedule", "run_overload_schedule", "run_soak",
+           "CTRLPLANE_ELECTION", "OverloadSpec", "OVERLOAD_COSTS"]
 
 #: Deterministic cost model: chaos schedules must be a pure function of
 #: the seed, so processing-time jitter is turned off.
 SOAK_COSTS = CostModel(cycle_jitter_frac=0.0)
 
+#: Overload soaks deliberately shrink the CPU so the chain's sustainable
+#: capacity is known-low and a scripted flash crowd can exceed it by 4x
+#: without needing millions of simulated packets per schedule.
+OVERLOAD_COSTS = SOAK_COSTS.with_overrides(cpu_hz=1e7)
+
 #: Audit cadence while the schedule runs.
 AUDIT_INTERVAL_S = 2e-3
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """Parameters of one flash-crowd overload schedule (PROTOCOL.md §12).
+
+    Everything is expressed relative to ``sustainable_pps``, the
+    chain's measured capacity under :data:`OVERLOAD_COSTS`, so one
+    number recalibrates the whole scenario:
+
+    * the workload idles at ``base_frac`` of capacity, then a scripted
+      flash crowd multiplies it by ``flash_factor`` (default peak =
+      ``0.6 * 8 = 4.8x`` capacity -- comfortably past the 4x bar);
+    * admission budgets ``budget_frac`` of capacity -- deliberately
+      *above* 1.0 so the flash genuinely overloads the data plane and
+      brownout has something to do;
+    * the run must still deliver ``goodput_floor_frac`` of capacity
+      averaged end to end, and p99 latency is the SLO brownout acts on.
+    """
+
+    sustainable_pps: float = 20e3
+    base_frac: float = 0.6
+    budget_frac: float = 1.25
+    flash_factor: float = 8.0
+    flash_start_frac: float = 0.25
+    flash_duration_frac: float = 0.3
+    goodput_floor_frac: float = 0.25
+    p99_limit_us: float = 800.0
+    crash: bool = False
+    orchestrators: int = 1
+
+    def __post_init__(self):
+        if self.sustainable_pps <= 0:
+            raise ValueError("sustainable_pps must be positive")
+        if not 0.0 < self.base_frac <= 1.0:
+            raise ValueError("base_frac must be in (0, 1]")
+        if self.budget_frac <= 0:
+            raise ValueError("budget_frac must be positive")
+        if self.flash_factor < 1.0:
+            raise ValueError("flash_factor must be >= 1")
+        if not 0.0 <= self.flash_start_frac < 1.0:
+            raise ValueError("flash_start_frac must be in [0, 1)")
+        if not 0.0 < self.flash_duration_frac <= 1.0 - self.flash_start_frac:
+            raise ValueError("flash window must fit inside the schedule")
+        if not 0.0 <= self.goodput_floor_frac < 1.0:
+            raise ValueError("goodput_floor_frac must be in [0, 1)")
+        if self.p99_limit_us <= 0:
+            raise ValueError("p99_limit_us must be positive")
+        if self.orchestrators < 1:
+            raise ValueError("orchestrators must be >= 1")
+
+    @property
+    def peak_factor(self) -> float:
+        """Peak offered load as a multiple of sustainable capacity."""
+        return self.base_frac * self.flash_factor
+
+    @classmethod
+    def parse(cls, text: str) -> "OverloadSpec":
+        """Parse ``key=value`` pairs (CLI ``--overload``), e.g.
+        ``over=8,base=0.6,budget=1.25,floor=0.25,crash=1,orch=3``.
+
+        Keys: ``sustain`` (pps), ``base``/``budget``/``floor``
+        (fractions of capacity), ``over`` (flash multiplier),
+        ``start``/``dur`` (flash window, fractions of the schedule),
+        ``p99`` (us), ``crash`` (0/1), ``orch`` (ensemble size).
+        """
+        keymap = {"sustain": ("sustainable_pps", float),
+                  "base": ("base_frac", float),
+                  "budget": ("budget_frac", float),
+                  "over": ("flash_factor", float),
+                  "start": ("flash_start_frac", float),
+                  "dur": ("flash_duration_frac", float),
+                  "floor": ("goodput_floor_frac", float),
+                  "p99": ("p99_limit_us", float),
+                  "crash": ("crash", lambda v: bool(int(v))),
+                  "orch": ("orchestrators", int)}
+        kwargs: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"expected key=value, got {part!r}")
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            if key not in keymap:
+                raise ValueError(f"unknown overload key {key!r} "
+                                 f"(known: {', '.join(sorted(keymap))})")
+            field_name, convert = keymap[key]
+            try:
+                kwargs[field_name] = convert(value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad value for {key!r}: {value!r}") from exc
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [f"sustain={self.sustainable_pps:g}pps",
+                 f"peak={self.peak_factor:g}x",
+                 f"budget={self.budget_frac:g}x",
+                 f"floor={self.goodput_floor_frac:g}x"]
+        if self.crash:
+            parts.append("crash=mid-flash")
+        if self.orchestrators > 1:
+            parts.append(f"orch={self.orchestrators}")
+        return " ".join(parts)
 
 
 @dataclass
@@ -82,6 +199,11 @@ class SoakConfig:
     #: ``flight_dump_dir/flight-<index>.json`` for ``repro explain``.
     flight: bool = False
     flight_dump_dir: str = "flight-dumps"
+    #: Overload soak (PROTOCOL.md §12): each schedule drives a
+    #: flash-crowd workload through admission control + backpressure +
+    #: brownout and audits the overload invariants (no in-chain drop,
+    #: queues within bounds, shed conservation, goodput floor).
+    overload: Optional[OverloadSpec] = None
 
 
 @dataclass
@@ -113,6 +235,13 @@ class ScheduleResult:
     #: Reconfig schedules only (PROTOCOL.md §11).
     reconfigs_committed: int = 0
     reconfigs_aborted: int = 0
+    #: Overload schedules only (PROTOCOL.md §12): admission ledger,
+    #: end-to-end goodput, and the brownout transition count.
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    goodput_pps: float = 0.0
+    brownout_transitions: int = 0
     #: Path of the flight dump written for this schedule (flight soaks
     #: that tripped an invariant only).
     flight_dump: Optional[str] = None
@@ -157,6 +286,14 @@ class SoakResult:
                 f"  reconfigurations: {reconfigs} committed, "
                 f"{sum(s.reconfigs_aborted for s in self.schedules)} "
                 f"aborted")
+        shed = sum(s.shed for s in self.schedules)
+        if shed or any(s.offered for s in self.schedules):
+            lines.append(
+                f"  overload: {sum(s.offered for s in self.schedules)} "
+                f"offered, {sum(s.admitted for s in self.schedules)} "
+                f"admitted, {shed} shed at ingress, "
+                f"{sum(s.brownout_transitions for s in self.schedules)} "
+                f"brownout transitions")
         elections = sum(s.elections for s in self.schedules)
         if elections:
             lines.append(
@@ -615,6 +752,186 @@ def run_reconfig_schedule(seed: int, chain_length: int = 3, f: int = 1,
         reconfigs_aborted=aborted)
 
 
+def run_overload_schedule(seed: int, chain_length: int = 3, f: int = 1,
+                          spec: Optional[OverloadSpec] = None,
+                          duration_s: float = 120e-3,
+                          heartbeat_interval_s: float = 1e-3,
+                          index: int = 0,
+                          telemetry: Optional[Telemetry] = None
+                          ) -> ScheduleResult:
+    """One flash-crowd overload schedule (PROTOCOL.md §12).
+
+    A fresh chain runs with the full overload stack wired: a
+    :class:`WorkloadGenerator` drives heavy-tailed prioritized traffic
+    whose scripted flash crowd exceeds sustainable capacity by
+    ``spec.peak_factor`` (default 4.8x); an :class:`AdmissionControl`
+    gates the ingress against a :class:`BackpressureBus` spanning every
+    bounded queue; an SLO watchdog on windowed p99 latency drives a
+    :class:`BrownoutController` that throttles admission, coarsens
+    sampling, and batches feedback until pressure clears.
+
+    The auditor proves the §12 invariants throughout (zero in-chain
+    drops, queues within bounds, shed conservation and ordering,
+    brownout journal 1:1) on top of §4/§5, and the schedule itself
+    checks end-to-end outcomes: goodput stays above the configured
+    floor, every admitted packet egresses exactly once (no-crash
+    variant), and brownout has fully exited at quiescence.
+
+    ``spec.crash=True`` crashes a deterministic position mid-flash --
+    overload handling and failure recovery must coexist (the admitted
+    == released assertion is waived; invariants are not).
+    ``spec.orchestrators > 1`` replaces the orchestrator with a
+    leader-elected ensemble and journals every brownout transition
+    through its write-ahead quorum journal.
+    """
+    from ..metrics.stats import percentile
+
+    spec = spec or OverloadSpec()
+    sim = Simulator()
+    egress = EgressRecorder(sim)
+    oracle = ShadowOracle(inner=egress)
+    bus = BackpressureBus()
+    admission = AdmissionControl(
+        sim, rate_pps=spec.budget_frac * spec.sustainable_pps,
+        n_classes=3, bus=bus, telemetry=telemetry)
+    chain = FTCChain(sim, ch_n(chain_length, n_threads=2), f=f,
+                     deliver=oracle, costs=OVERLOAD_COSTS, n_threads=2,
+                     seed=seed, telemetry=telemetry, admission=admission)
+    chain.start()
+    if spec.orchestrators > 1:
+        orchestrator = OrchestratorEnsemble(
+            sim, chain, n=spec.orchestrators, election=CTRLPLANE_ELECTION,
+            heartbeat_interval_s=heartbeat_interval_s)
+    else:
+        orchestrator = Orchestrator(
+            sim, chain, heartbeat_interval_s=heartbeat_interval_s)
+    orchestrator.start()
+
+    flash = FlashCrowd(at_s=duration_s * spec.flash_start_frac,
+                       duration_s=duration_s * spec.flash_duration_frac,
+                       multiplier=spec.flash_factor)
+    workload = WorkloadGenerator(
+        sim, chain.ingress,
+        WorkloadSpec(base_pps=spec.base_frac * spec.sustainable_pps,
+                     flashes=(flash,), n_flows=32, n_classes=3),
+        n_queues=2, streams=RandomStreams(seed))
+
+    # Windowed p99: brownout must see pressure *clear*, so the probe
+    # differences the egress sampler between watchdog ticks instead of
+    # reporting the cumulative distribution (which a flash would
+    # dominate forever).
+    probes = run_probes(egress, chain=chain, orchestrator=orchestrator)
+    window_state = {"n": 0}
+
+    def p99_window_us():
+        samples = egress.latency.samples
+        start = window_state["n"]
+        window_state["n"] = len(samples)
+        if len(samples) <= start:
+            return None
+        return percentile(samples[start:], 99) * 1e6
+
+    probes["p99_latency_us"] = p99_window_us
+    watchdog = SLOWatchdog(
+        sim, [SLOObjective("p99_latency_us", "<=", spec.p99_limit_us)],
+        probes=probes, telemetry=telemetry)
+    watchdog.start()
+
+    journal = None
+    if spec.orchestrators > 1:
+        def journal(transition):
+            leader = orchestrator.leader
+            if leader is None:
+                return
+
+            def drive():
+                try:
+                    yield from leader.journal_step(
+                        f"brownout-{transition.kind}", [],
+                        transition.describe())
+                except Exception:
+                    pass  # fenced mid-write: the flight ring still has it
+            sim.process(drive(), name="brownout-journal")
+
+    brownout = BrownoutController(sim, watchdog, admission=admission,
+                                  buffer=chain.buffer, journal=journal,
+                                  telemetry=telemetry)
+    auditor = InvariantAuditor(
+        chain, oracle=oracle, orchestrator=orchestrator, brownout=brownout,
+        context={"seed": seed, "schedule": index,
+                 "overload": spec.describe()})
+
+    injector = None
+    if spec.crash:
+        rng = chain.streams.stream("overload-soak")
+        crash_position = rng.randrange(chain.n_positions)
+        plan = FaultPlan().crash(
+            position=crash_position,
+            at_s=flash.at_s + flash.duration_s / 2)
+        injector = FaultInjector(chain, orchestrator, plan, seed=seed)
+        injector.start()
+
+    def periodic_audit():
+        auditor.audit()
+        if sim.now + AUDIT_INTERVAL_S < duration_s:
+            sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+
+    sim.schedule_callback(AUDIT_INTERVAL_S, periodic_audit)
+    sim.run(until=duration_s)
+    workload.stop()
+    # Drain runway: held packets release, queues empty, the windowed
+    # p99 probe goes quiet, and brownout walks its de-escalation ladder
+    # (4 clean ticks per level at the coarsened sampling interval).
+    sim.run(until=duration_s + 160e-3)
+    auditor.audit(quiescent=True)
+    watchdog.stop()
+    orchestrator.stop()
+
+    violations = list(auditor.violations)
+    goodput = oracle.released / duration_s
+    goodput_floor = spec.goodput_floor_frac * spec.sustainable_pps
+    if goodput < goodput_floor:
+        violations.append(InvariantViolation(
+            invariant="goodput-floor",
+            detail=f"goodput {goodput:.0f}pps < floor {goodput_floor:.0f}pps "
+                   f"under {spec.peak_factor:g}x offered load",
+            at_s=sim.now))
+    if oracle.duplicate_releases:
+        violations.append(InvariantViolation(
+            invariant="egress-duplicate",
+            detail=f"{oracle.duplicate_releases} duplicate releases",
+            at_s=sim.now))
+    if not spec.crash and oracle.released != admission.admitted:
+        violations.append(InvariantViolation(
+            invariant="overload-loss",
+            detail=f"released {oracle.released} != admitted "
+                   f"{admission.admitted} (shed {admission.shed} at "
+                   f"ingress is the only legal loss)",
+            at_s=sim.now))
+
+    history = orchestrator.history
+    return ScheduleResult(
+        index=index, seed=seed, chain_length=chain_length, f=f,
+        faults=list(injector.injected) if injector is not None else [],
+        violations=violations,
+        released=oracle.released,
+        failures_detected=len(history),
+        recoveries=sum(1 for e in history if e.recovered),
+        degraded=chain.degraded,
+        timeline=([] if telemetry is None
+                  else telemetry.timeline.as_dicts()),
+        sent=workload.sent,
+        offered=admission.offered,
+        admitted=admission.admitted,
+        shed=admission.shed,
+        goodput_pps=goodput,
+        brownout_transitions=len(brownout.transitions),
+        elections=(len(orchestrator.election_log)
+                   if spec.orchestrators > 1 else 0),
+        fenced_commands=(orchestrator.gate.fenced_commands
+                         if spec.orchestrators > 1 else 0))
+
+
 def run_soak(config: Optional[SoakConfig] = None,
              progress=None) -> SoakResult:
     """Sweep ``config.schedules`` randomized schedules (round-robin over
@@ -637,7 +954,14 @@ def run_soak(config: Optional[SoakConfig] = None,
                                chain_length=chain_length, f=f)
         telemetry = (Telemetry(flight=flight)
                      if config.telemetry or config.flight else None)
-        if config.reconfig:
+        if config.overload is not None:
+            schedule = run_overload_schedule(
+                seed=seed, chain_length=chain_length, f=f,
+                spec=config.overload,
+                duration_s=max(config.duration_s, 120e-3),
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                index=index, telemetry=telemetry)
+        elif config.reconfig:
             schedule = run_reconfig_schedule(
                 seed=seed, chain_length=chain_length, f=f,
                 duration_s=max(config.duration_s, 80e-3),

@@ -40,7 +40,7 @@ __all__ = ["main"]
 
 _EXPERIMENTS = ["table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "fig11", "fig12", "fig13", "ablations", "calibration",
-                "lossy", "ctrlplane", "reconfig"]
+                "lossy", "ctrlplane", "reconfig", "overload"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="impair chain links, e.g. "
                               "drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01 "
                               "(FTC hops switch to reliable channels, §8)")
+        cmd.add_argument("--workload", default=None, metavar="SPEC",
+                         help="drive a WorkloadSpec instead of constant "
+                              "--rate traffic, e.g. base=2e4,"
+                              "flash=0.002:0.004:4,diurnal=0.3:0.05,"
+                              "alpha=1.3,flows=64,classes=3 "
+                              "(PROTOCOL.md §12.1; --rate/--flows/"
+                              "--packet-size are ignored)")
         cmd.add_argument("--flight", nargs="?", const="flight.json",
                          default=None, metavar="PATH",
                          help="record a causal flight log and dump it to "
@@ -153,6 +160,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --reconfig: also crash a replica "
                             "mid-drain (zero-loss waived; every other "
                             "invariant still audited)")
+    chaos.add_argument("--overload", nargs="?", const="", default=None,
+                       metavar="SPEC",
+                       help="soak the overload stack instead: each "
+                            "schedule drives a flash-crowd workload "
+                            "through admission control + backpressure + "
+                            "brownout and audits the §12 invariants; "
+                            "SPEC tunes it, e.g. over=8,base=0.6,"
+                            "budget=1.25,floor=0.25,crash=1,orch=3")
     chaos.add_argument("--flight", nargs="?", const="flight-dumps",
                        default=None, metavar="DIR",
                        help="record a flight log per schedule; an invariant "
@@ -248,10 +263,22 @@ def _run_chain(args, telemetry=None, on_ready=None):
             sim, system, n=args.orchestrators, election=CTRLPLANE_ELECTION,
             telemetry=telemetry)
         ensemble.start()
-    generator = TrafficGenerator(
-        sim, system.ingress, rate_pps=args.rate,
-        flows=balanced_flows(args.flows, args.threads),
-        packet_size=args.packet_size)
+    if getattr(args, "workload", None):
+        from .net import WorkloadGenerator, WorkloadSpec
+        from .sim import RandomStreams
+        try:
+            spec = WorkloadSpec.parse(args.workload)
+        except ValueError as err:
+            raise SystemExit(f"repro run: bad --workload: {err}")
+        print(f"workload: {spec.describe()}")
+        generator = WorkloadGenerator(
+            sim, system.ingress, spec, n_queues=args.threads,
+            streams=RandomStreams(args.seed))
+    else:
+        generator = TrafficGenerator(
+            sim, system.ingress, rate_pps=args.rate,
+            flows=balanced_flows(args.flows, args.threads),
+            packet_size=args.packet_size)
 
     if args.fail_at is not None:
         if not hasattr(system, "fail_position"):
@@ -328,8 +355,12 @@ def _print_run_summary(args, system, generator, egress, middleboxes) -> None:
                   f"retransmissions, {ch.get('nacks_sent', 0)} NACKs, "
                   f"{ch.get('dup_dropped', 0)} dups dropped, "
                   f"{ch.get('corrupt_dropped', 0)} corrupt dropped")
-    print(f"offered {generator.sent} packets at {args.rate:g} pps; "
-          f"released {system.total_released()}")
+    if getattr(args, "workload", None):
+        print(f"offered {generator.sent} packets (workload-driven); "
+              f"released {system.total_released()}")
+    else:
+        print(f"offered {generator.sent} packets at {args.rate:g} pps; "
+              f"released {system.total_released()}")
     print(f"throughput: {egress.throughput.rate_mpps():.3f} Mpps"
           f"  ({egress.throughput.rate_gbps():.2f} Gbps)")
     if len(egress.latency):
@@ -518,6 +549,22 @@ def _cmd_chaos(args) -> int:
     if args.reconfig_crashes and not args.reconfig:
         raise SystemExit("repro chaos: --reconfig-crashes needs --reconfig")
 
+    overload = None
+    if args.overload is not None:
+        if args.impair_data or args.reconfig:
+            raise SystemExit("repro chaos: --overload is its own soak "
+                             "mode; drop --impair-data/--reconfig")
+        from .chaos import OverloadSpec
+        try:
+            overload = OverloadSpec.parse(args.overload)
+        except ValueError as err:
+            raise SystemExit(f"repro chaos: bad --overload: {err}")
+        if args.orchestrators > 1 and overload.orchestrators == 1:
+            overload = OverloadSpec.parse(
+                (args.overload + "," if args.overload else "")
+                + f"orch={args.orchestrators}")
+        print(f"overload soak: {overload.describe()}")
+
     impair_data = None
     if args.impair_data:
         spec = _parse_impairment(args.impair_data, "repro chaos")
@@ -535,12 +582,17 @@ def _cmd_chaos(args) -> int:
         orchestrators=args.orchestrators, orch_faults=args.orch_faults,
         reconfig=args.reconfig, reconfig_crashes=args.reconfig_crashes,
         flight=bool(args.flight),
-        flight_dump_dir=args.flight or "flight-dumps")
+        flight_dump_dir=args.flight or "flight-dumps",
+        overload=overload)
 
     def progress(schedule):
         status = "ok" if schedule.ok else "FAIL"
         extra = (f"{schedule.retransmissions} retransmitted, "
                  if impair_data else "")
+        if overload is not None:
+            extra += (f"{schedule.shed} shed, "
+                      f"{schedule.brownout_transitions} brownout, "
+                      f"{schedule.goodput_pps:.0f}pps, ")
         if args.orchestrators > 1:
             extra += (f"{schedule.elections} elections, "
                       f"{schedule.fenced_commands} fenced, ")

@@ -7,6 +7,12 @@ times.  Failure injection and recovery are exposed for orchestrators
 (`repro.orchestration`) and tests.
 """
 
+from .admission import (
+    AdmissionControl,
+    BackpressureBus,
+    PressureSource,
+    TokenBucket,
+)
 from .buffer import Buffer
 from .chain import FTCChain
 from .costs import CostModel, DEFAULT_COSTS
@@ -37,7 +43,9 @@ from .runtime import CycleCounters, MiddleboxRuntime
 from .scaling import RescaleReport, rescale_position
 
 __all__ = [
+    "AdmissionControl",
     "AppliedCommand",
+    "BackpressureBus",
     "Buffer",
     "ChainConfig",
     "ClassifierRule",
@@ -53,6 +61,7 @@ __all__ = [
     "MiddleboxRuntime",
     "PiggybackLog",
     "PiggybackMessage",
+    "PressureSource",
     "ProtocolError",
     "RECONFIG_KINDS",
     "RECONFIG_PHASES",
@@ -66,6 +75,7 @@ __all__ = [
     "RescaleReport",
     "StaleConfigError",
     "StaleEpochError",
+    "TokenBucket",
     "ReplicationState",
     "UnrecoverableError",
     "apply_reconfig",

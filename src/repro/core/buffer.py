@@ -60,6 +60,7 @@ class Buffer:
         self._m_feedback = registry.counter(f"{name}/feedback_packets")
         self._m_duplicates = registry.counter(f"{name}/duplicates_dropped")
         self._m_overflow = registry.counter(f"{name}/overflow_dropped")
+        self._m_drop_site = registry.counter("drops/buffer-overflow")
         self._flight = self.telemetry.flight
         #: pid -> virtual time the packet entered the held queue (only
         #: populated while telemetry is enabled).
@@ -78,6 +79,9 @@ class Buffer:
         self.cycles_spent = 0.0
         self.held_peak = 0
         self.max_held = max_held
+        #: Minimum spacing between feedback packets; brownout's
+        #: ack-batching action stretches this (PROTOCOL.md §12.3).
+        self.feedback_min_interval_s = _FEEDBACK_MIN_INTERVAL_S
         self.propagating_consumed = 0
         #: Exactly-once egress (§8): duplicate deliveries (a retransmit
         #: that raced its ACK, a link-duplicated packet) are absorbed
@@ -155,6 +159,7 @@ class Buffer:
             # when the commit path is wedged (counted, not silent).
             self.overflow_dropped += 1
             self._m_overflow.inc()
+            self._m_drop_site.inc()
             if self._flight.enabled:
                 self._flight.record(
                     "buffer", "shed", t=self.sim.now, pid=packet.pid,
@@ -287,5 +292,5 @@ class Buffer:
             self._m_feedback.inc()
             self.send_feedback(packet)
             yield self.sim.timeout(max(
-                _FEEDBACK_MIN_INTERVAL_S,
+                self.feedback_min_interval_s,
                 packet.wire_size * 8.0 / self.costs.feedback_bandwidth_bps))

@@ -42,7 +42,8 @@ class FTCChain:
                  costs: CostModel = DEFAULT_COSTS,
                  net: Optional[Network] = None, n_threads: int = 8,
                  seed: int = 0, use_htm: bool = False, name: str = "ftc",
-                 telemetry=None, reliable_links: bool = False):
+                 telemetry=None, reliable_links: bool = False,
+                 admission=None):
         if not middleboxes:
             raise ValueError("a chain needs at least one middlebox")
         if f < 0:
@@ -136,6 +137,32 @@ class FTCChain:
         #: Egress count at the instant each middlebox was inserted live
         #: (auditors account per-middlebox packet counts from there).
         self.mbox_release_baseline: Dict[str, int] = {}
+        #: Audited drop sites (PROTOCOL.md §12.2).
+        self._m_classifier_drop = self.telemetry.registry.counter(
+            "drops/classifier")
+        #: Propagating packets the NIC queue refused; their piggyback
+        #: state is re-absorbed by the forwarder and retried -- never
+        #: dropped (the replication invariant does not bend under load).
+        self.propagating_requeued = 0
+        #: Overload protection (PROTOCOL.md §12): inert by default.
+        #: When an :class:`~repro.core.admission.AdmissionControl` is
+        #: passed, ingress gates data packets through it and every
+        #: bounded queue registers on its backpressure bus.
+        self.admission = admission
+        if admission is not None:
+            self._wire_backpressure()
+
+    def _wire_backpressure(self) -> None:
+        """Register every bounded queue on the admission bus."""
+        bus = self.admission.bus
+        if bus is None:
+            return
+        for position in range(self.n_positions):
+            bus.add(f"nic-p{position}",
+                    (lambda p=position: self.server_at(p).nic.depth()),
+                    bound=self.n_threads * self.costs.nic_queue_depth)
+        bus.add("buffer-held", lambda: len(self.buffer.held),
+                bound=lambda: self.buffer.max_held)
 
     # -- construction helpers ------------------------------------------------
 
@@ -223,6 +250,12 @@ class FTCChain:
         if self.classifier is not None and packet.is_data \
                 and not self.classifier.admits(packet.flow):
             self.classifier_drops += 1
+            self._m_classifier_drop.inc()
+            return
+        if self.admission is not None and packet.is_data \
+                and not self.admission.offer(packet):
+            # Shed at ingress -- the only point where a drop cannot
+            # desynchronize replicated state (PROTOCOL.md §12.2).
             return
         self.packets_in += 1
         if self._stamp_config:
@@ -247,7 +280,21 @@ class FTCChain:
             if message is not None:
                 self.forwarder.absorb_feedback(message)
             return
-        replica.enqueue_local(packet)
+        if not replica.enqueue_local(packet):
+            # NIC queue full under overload: a propagating packet
+            # carries unreplicated logs, so dropping it would break the
+            # replication invariant.  Re-absorb its piggyback state and
+            # let the forwarder's propagation timer re-offer it.
+            message = packet.detach("ftc")
+            if message is not None:
+                self.forwarder.absorb_feedback(message)
+            self.propagating_requeued += 1
+            flight = self.telemetry.flight
+            if flight.enabled:
+                flight.record(
+                    "piggyback", "requeue", t=self.sim.now, pid=packet.pid,
+                    detail="propagating packet refused by full NIC queue; "
+                           "logs re-absorbed for retry")
 
     def _deliver(self, packet: Packet) -> None:
         self.deliver(packet)
@@ -274,6 +321,7 @@ class FTCChain:
             return
         if self.net.servers[src_name].failed:
             self.net.dropped_to_failed += 1
+            self.net._count_drop("net-to-failed", packet)
             return
         channel = self._channel_for(src, dst)
         # Recovery replaces a failed position's links with fresh ones,
@@ -292,6 +340,10 @@ class FTCChain:
                 loss_fn=self.net.data_leg_lost,
                 telemetry=self.telemetry)
             self._channels[(src, dst)] = channel
+            if self.admission is not None and self.admission.bus is not None:
+                self.admission.bus.add(
+                    f"ch{src}-{dst}", lambda ch=channel: len(ch.txq),
+                    bound=channel.txq_bound)
         return channel
 
     def channel_stats(self) -> Dict[str, int]:

@@ -124,10 +124,15 @@ class Replica:
 
     # -- ingestion helpers -----------------------------------------------------
 
-    def enqueue_local(self, packet: Packet) -> None:
-        """Inject a locally generated packet (propagating) into a queue."""
+    def enqueue_local(self, packet: Packet) -> bool:
+        """Inject a locally generated packet (propagating) into a queue.
+
+        Returns False when the queue refused it (full under overload);
+        the caller owns the packet's fate -- the chain re-absorbs a
+        propagating packet's logs rather than losing them.
+        """
         queue_index = self.server.nic.queue_for(packet)
-        self.server.nic.queues[queue_index].try_put(packet)
+        return self.server.nic.queues[queue_index].try_put(packet)
 
     # -- the worker pipeline ------------------------------------------------------
 

@@ -42,10 +42,12 @@ from typing import Any, Dict, List, Optional
 __all__ = ["FlightEvent", "FlightRecorder", "NullFlightRecorder",
            "NULL_FLIGHT", "FLIGHT_COMPONENTS", "DUMP_VERSION"]
 
-#: Components an event may come from (PROTOCOL.md §10).
+#: Components an event may come from (PROTOCOL.md §10, §12).
 FLIGHT_COMPONENTS = ("stm", "piggyback", "buffer", "channel", "recovery",
                      "fencing", "orch", "election", "journal", "slo",
-                     "chaos", "flight")
+                     "chaos", "flight",
+                     # Overload layer (§12): drop sites + actuators.
+                     "nic", "link", "net", "admission", "brownout")
 
 #: Schema version stamped into every dump.
 DUMP_VERSION = 1

@@ -115,6 +115,11 @@ class SLOWatchdog:
         self.interval_s = interval_s
         self.until_s = until_s
         self.breaches: List[SLOBreach] = []
+        #: Actuator hook (PROTOCOL.md §12.3): each callable receives
+        #: the list of breaches every evaluation produced -- an empty
+        #: list is a *clean* tick, which brownout hysteresis needs to
+        #: see just as much as the breaches themselves.
+        self.listeners: List[Callable[[List[SLOBreach]], None]] = []
         self.evaluations = 0
         #: Last observed value per indicator (the report's "worst" column
         #: tracks extremes separately below).
@@ -167,6 +172,8 @@ class SLOWatchdog:
                 self._flight.record(
                     "slo", "breach", t=now,
                     detail=f"{objective} observed={value:g}", chain="slo")
+        for listener in self.listeners:
+            listener(new)
         return new
 
     def as_dicts(self) -> List[Dict]:

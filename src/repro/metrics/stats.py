@@ -41,7 +41,11 @@ def percentile(samples: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    # Clamp: with subnormal/extreme floats the rounded interpolation
+    # can escape [ordered[low], ordered[high]] (e.g. both half-terms
+    # of 5e-324 round to zero), and a percentile must stay in range.
+    value = ordered[low] * (1 - frac) + ordered[high] * frac
+    return min(max(value, ordered[low]), ordered[high])
 
 
 def cdf_points(samples: Sequence[float],

@@ -2,7 +2,14 @@
 
 from .channel import DATA_RETRY_POLICY, Frame, ReliableChannel
 from .churn import FlowChurnGenerator
-from .flowgen import FlowPool, TrafficGenerator, balanced_flows
+from .flowgen import (
+    FlashCrowd,
+    FlowPool,
+    TrafficGenerator,
+    WorkloadGenerator,
+    WorkloadSpec,
+    balanced_flows,
+)
 from .impairment import Corrupted, DataImpairment
 from .link import Link, LossyLink
 from .nic import DEFAULT_NIC_PPS, NIC
@@ -26,6 +33,7 @@ __all__ = [
     "DEFAULT_NIC_PPS",
     "DEFAULT_RETRY_POLICY",
     "DataImpairment",
+    "FlashCrowd",
     "FlowChurnGenerator",
     "FlowKey",
     "FlowPool",
@@ -39,6 +47,8 @@ __all__ = [
     "RetryPolicy",
     "Server",
     "TrafficGenerator",
+    "WorkloadGenerator",
+    "WorkloadSpec",
     "balanced_flows",
     "format_ip",
     "ip",

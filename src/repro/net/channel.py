@@ -130,6 +130,7 @@ class ReliableChannel:
         self._m_corrupt = registry.counter("channel/corrupt_dropped")
         self._m_stalls = registry.counter("channel/window_stalls")
         self._m_inflight = registry.histogram("channel/inflight")
+        self._m_reorder_drop = registry.counter("drops/channel-reorder")
         self._flight = self.telemetry.flight
 
         self.epoch = 0
@@ -139,6 +140,13 @@ class ReliableChannel:
         self.next_seq = 0
         self.unacked: Dict[int, _Pending] = {}
         self.txq: List[Any] = []
+        #: Send-queue pressure bound (PROTOCOL.md §12.2).  The queue is
+        #: deliberately *not* hard-bounded -- dropping an in-chain
+        #: packet here would desynchronize replicated state -- but past
+        #: this depth the channel reports full backpressure, which the
+        #: ingress gate turns into shedding where it is safe.
+        self.txq_bound = 4 * window
+        self.txq_peak = 0
         # -- receiver state --
         self.next_expected = 0
         self.ooo: Dict[int, Any] = {}
@@ -219,6 +227,8 @@ class ReliableChannel:
         """Send a packet; it is delivered exactly once, in order."""
         if len(self.unacked) >= self.window:
             self.txq.append(packet)
+            if len(self.txq) > self.txq_peak:
+                self.txq_peak = len(self.txq)
             self.window_stalls += 1
             self._m_stalls.inc()
             return
@@ -311,6 +321,13 @@ class ReliableChannel:
                 # the sender's RTO will offer it again once the gap
                 # ahead of it has been repaired and space freed.
                 self.reorder_dropped += 1
+                self._m_reorder_drop.inc()
+                if self._flight.enabled:
+                    self._flight.record(
+                        "channel", "reorder-drop", t=self.sim.now,
+                        detail=f"{self.name} ooo hold full "
+                               f"({self.reorder_cap}); seq {seq} "
+                               f"re-offered by sender RTO")
                 return
             self.ooo[seq] = obj
             self.ooo_held_peak = max(self.ooo_held_peak, len(self.ooo))
@@ -408,6 +425,7 @@ class ReliableChannel:
             "reorder_dropped": self.reorder_dropped,
             "window_stalls": self.window_stalls,
             "ooo_held_peak": self.ooo_held_peak,
+            "txq_peak": self.txq_peak,
             "inflight": len(self.unacked), "queued": len(self.txq),
         }
 

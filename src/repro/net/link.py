@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..sim import RateLimiter, Simulator
+from ..telemetry import NULL_TELEMETRY
 from .impairment import Corrupted, DataImpairment
 
 __all__ = ["Link", "LossyLink"]
@@ -32,12 +33,16 @@ class Link:
 
     def __init__(self, sim: Simulator, sink: Callable[[Any], None],
                  delay_s: float = 5e-6, bandwidth_bps: float = 40e9,
-                 name: str = "link"):
+                 name: str = "link", telemetry=None):
         self.sim = sim
         self.sink = sink
         self.delay_s = delay_s
         self.bandwidth_bps = bandwidth_bps
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_impair_drop = self.telemetry.registry.counter(
+            "drops/link-impair")
+        self._flight = self.telemetry.flight
         self.tx_packets = 0
         self.tx_bytes = 0
         self._impairment: Optional[DataImpairment] = None
@@ -89,6 +94,12 @@ class Link:
         self.tx_bytes += packet.wire_size
         if spec.drop_rate and rng.random() < spec.drop_rate:
             self.impair_dropped += 1
+            self._m_impair_drop.inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "link", "impair-drop", t=self.sim.now,
+                    pid=getattr(packet, "pid", None),
+                    detail=f"{self.name} seeded loss")
             return
         copies = 1
         if spec.dup_rate and rng.random() < spec.dup_rate:

@@ -10,6 +10,10 @@ queues, followed by receive-side scaling (RSS) into per-queue FIFO
 buffers with finite capacity.  Everything that arrives -- data packets
 and protocol messages alike -- consumes engine slots, which is exactly
 the mechanism behind FTMB's 5.26 Mpps ceiling.
+
+Tail drops are never silent (PROTOCOL.md §12.2): each one increments
+``rx_dropped``, the ``drops/nic`` metric, and emits a flight event
+when telemetry is wired.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..sim import RateLimiter, Simulator, Store
+from ..telemetry import NULL_TELEMETRY
 from .packet import Packet
 
 __all__ = ["NIC", "DEFAULT_NIC_PPS"]
@@ -41,18 +46,22 @@ class NIC:
     def __init__(self, sim: Simulator, n_queues: int = 1,
                  pps_capacity: float = DEFAULT_NIC_PPS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
-                 name: str = "nic"):
+                 name: str = "nic", telemetry=None):
         if n_queues < 1:
             raise ValueError("a NIC needs at least one queue")
         self.sim = sim
         self.name = name
         self.n_queues = n_queues
+        self.queue_depth = queue_depth
         self.queues: List[Store] = [
             Store(sim, capacity=queue_depth, name=f"{name}/q{i}")
             for i in range(n_queues)
         ]
         self._engine = RateLimiter(sim, rate=pps_capacity,
                                    name=f"{name}/engine")
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_drops = self.telemetry.registry.counter("drops/nic")
+        self._flight = self.telemetry.flight
         self.rx_packets = 0
         self.rx_dropped = 0
 
@@ -65,12 +74,21 @@ class NIC:
         delay = self._engine.admission_delay(packet)
         self.sim.schedule_callback(delay, lambda: self._enqueue(packet))
 
+    def _drop(self, packet: Packet) -> None:
+        self.rx_dropped += 1
+        self._m_drops.inc()
+        if self._flight.enabled:
+            self._flight.record(
+                "nic", "tail-drop", t=self.sim.now, pid=packet.pid,
+                detail=f"{self.name} queue full ({self.queue_depth})",
+                chain=f"pid:{packet.pid}")
+
     def _enqueue(self, packet: Packet) -> None:
         queue = self.queues[self.queue_for(packet)]
         if queue.try_put(packet):
             self.rx_packets += 1
         else:
-            self.rx_dropped += 1
+            self._drop(packet)
 
     def deliver_direct(self, packet: Packet, queue_index: int) -> None:
         """Bypass RSS (used by steering elements that pick a queue)."""
@@ -80,7 +98,7 @@ class NIC:
             if self.queues[queue_index].try_put(packet):
                 self.rx_packets += 1
             else:
-                self.rx_dropped += 1
+                self._drop(packet)
 
         self.sim.schedule_callback(delay, enqueue)
 

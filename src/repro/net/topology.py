@@ -40,7 +40,8 @@ class Server:
                  cpu_hz: float = DEFAULT_CPU_HZ,
                  nic_pps: float = DEFAULT_NIC_PPS,
                  nic_queues: Optional[int] = None,
-                 nic_queue_depth: Optional[int] = None):
+                 nic_queue_depth: Optional[int] = None,
+                 telemetry=None):
         self.sim = sim
         self.name = name
         self.n_cores = n_cores
@@ -50,7 +51,7 @@ class Server:
             nic_kwargs["queue_depth"] = nic_queue_depth
         self.nic = NIC(sim, n_queues=nic_queues or n_cores,
                        pps_capacity=nic_pps, name=f"{name}/nic",
-                       **nic_kwargs)
+                       telemetry=telemetry, **nic_kwargs)
         self.failed = False
         self.region: Optional[str] = None  # set when placed in a cloud
 
@@ -129,9 +130,19 @@ class Network:
     def add_server(self, name: str, **kwargs) -> Server:
         if name in self.servers:
             raise ValueError(f"duplicate server name {name!r}")
+        kwargs.setdefault("telemetry", self.telemetry)
         server = Server(self.sim, name, **kwargs)
         self.servers[name] = server
         return server
+
+    def _count_drop(self, site: str, packet=None) -> None:
+        """Audit hook (PROTOCOL.md §12.2): no drop is ever silent."""
+        self.telemetry.registry.counter(f"drops/{site}").inc()
+        flight = self.telemetry.flight
+        if flight.enabled:
+            flight.record("net", site, t=self.sim.now,
+                          pid=getattr(packet, "pid", None),
+                          detail=f"dropped at {site}")
 
     def connect(self, src: str, dst: str,
                 delay_s: Optional[float] = None,
@@ -149,16 +160,18 @@ class Network:
                 # No reliability layer adopted this link: the receiver
                 # NIC's FCS check discards the damaged packet.
                 self.data_corrupt_dropped += 1
+                self._count_drop("net-corrupt", packet)
                 return
             if _dst.failed:
                 self.dropped_to_failed += 1
+                self._count_drop("net-to-failed", packet)
                 return
             _dst.nic.receive(packet)
 
         link = Link(self.sim, sink,
                     delay_s=self.hop_delay_s if delay_s is None else delay_s,
                     bandwidth_bps=bandwidth_bps or self.bandwidth_bps,
-                    name=f"{src}->{dst}")
+                    name=f"{src}->{dst}", telemetry=self.telemetry)
         if self._data_impairment is not None:
             # Links created later (e.g. by recovery wiring a respawned
             # replica) inherit the impairment currently installed.
@@ -186,6 +199,7 @@ class Network:
         """Transmit a packet from server ``src`` to server ``dst``."""
         if self.servers[src].failed:
             self.dropped_to_failed += 1
+            self._count_drop("net-to-failed", packet)
             return
         self.link(src, dst).send(packet)
 
@@ -194,6 +208,7 @@ class Network:
         server = self.servers[dst]
         if server.failed:
             self.dropped_to_failed += 1
+            self._count_drop("net-to-failed", packet)
             return
         server.nic.receive(packet)
 

@@ -1,5 +1,11 @@
 """Orchestration: SDN-controller-style monitoring, placement, recovery."""
 
+from .brownout import (
+    BROWNOUT_STEPS,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutTransition,
+)
 from .cloud import CloudNetwork, SAVI_REGIONS, savi_rtt_matrix
 from .election import ElectionConfig, ElectionMember
 from .ensemble import EnsembleMember, OrchestratorEnsemble
@@ -8,6 +14,10 @@ from .orchestrator import FailureEvent, Orchestrator
 from .placement import place_chain, validate_isolation
 
 __all__ = [
+    "BROWNOUT_STEPS",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "BrownoutTransition",
     "CloudNetwork",
     "CommandJournal",
     "ElectionConfig",

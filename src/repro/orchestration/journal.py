@@ -31,7 +31,11 @@ __all__ = ["JournalEntry", "CommandJournal", "JOURNAL_STEPS"]
 #: through the same write-ahead quorum path.
 JOURNAL_STEPS = ("declare-failed", "spawn", "re-steer", "committed",
                  "abandoned", "reconfig-prepare", "reconfig-switch",
-                 "reconfig-commit", "reconfig-abort")
+                 "reconfig-commit", "reconfig-abort",
+                 # Brownout transitions (PROTOCOL.md §12.3) go through
+                 # the same quorum write-ahead path.
+                 "brownout-enter", "brownout-escalate",
+                 "brownout-deescalate", "brownout-exit")
 
 
 @dataclass(frozen=True)
