@@ -14,6 +14,18 @@ The point is a regression fence: the overload machinery must price in
 at a modest constant factor, not change the complexity class.  Results
 go to ``BENCH_throughput.json`` (CI uploads it as an artifact).
 
+Migration note (schema v2): the original report had no
+``schema_version`` and no ``env`` block, and its mode list sat directly
+under ``results``.  v2 (PROTOCOL.md §13.2) adds ``schema_version: 2``
+and an ``env`` block (python/platform/git sha/seed), and keeps this
+benchmark's *mode list* as the ``results`` value -- unlike the
+per-scenario reports, whose ``results`` is a single dict -- so the
+committed trajectory of datapoints stays comparable.  Consumers key on
+``schema_version`` + the shape of ``results``;
+``repro.perf.compare.headline_pps`` returns 0.0 for list-shaped
+results, so this file is informational to the scenario gate, never
+gated itself (the pytest fence below is its gate).
+
 Run directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
@@ -32,6 +44,7 @@ from repro.metrics import EgressRecorder
 from repro.middlebox import ch_n
 from repro.net import TrafficGenerator, balanced_flows
 from repro.orchestration.brownout import BrownoutController
+from repro.perf.bench import SCHEMA_VERSION, env_metadata
 from repro.sim import Simulator
 
 OUTPUT = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
@@ -93,7 +106,9 @@ def run_all() -> dict:
                for m in ("baseline", "reliable-links", "overload-on")]
     base = results[0]["sim_pps_per_wall_s"]
     report = {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": "data-plane throughput (simulated packets / wall s)",
+        "env": env_metadata(seed=SEED, quick=False),
         "rate_pps": RATE_PPS,
         "duration_s": DURATION_S,
         "seed": SEED,

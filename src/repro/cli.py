@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     python -m repro list                    # available middleboxes/systems
     python -m repro run --chain monitor,monitor --system ftc --rate 2e6
@@ -9,6 +9,7 @@ Seven subcommands cover the common workflows::
     python -m repro trace --out trace.json  # sampled Chrome trace
     python -m repro explain flight.json --recovery 1   # post-mortem
     python -m repro report --slo p99_latency_us<=500   # markdown report
+    python -m repro perf bench --all --quick  # perfscope suite (§13)
 
 ``run`` builds the requested chain under the requested system, drives
 it for a simulated duration, and prints throughput/latency plus the
@@ -202,6 +203,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None, metavar="PATH",
                         help="write the markdown report here "
                              "(default: stdout)")
+
+    from .perf.cli import add_perf_parser
+    add_perf_parser(sub)
     return parser
 
 
@@ -655,6 +659,9 @@ def main(argv: List[str] = None) -> int:
         return _cmd_explain(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "perf":
+        from .perf.cli import cmd_perf
+        return cmd_perf(args)
     return 1
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 
 __all__ = ["TokenBucket", "AdmissionControl", "BackpressureBus",
            "PressureSource"]
@@ -200,6 +200,7 @@ class AdmissionControl:
         self.admitted_by_class = [0] * n_classes
         self.shed_by_class = [0] * n_classes
         self.shed_backpressure = 0
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_admitted = registry.counter(f"{name}/admitted")
         self._m_shed = registry.counter(f"drops/{name}")
@@ -220,6 +221,13 @@ class AdmissionControl:
 
     def offer(self, packet) -> bool:
         """Gate one packet at ingress; True = admitted."""
+        prof = self._prof
+        prof_t0 = prof.t0()
+        admitted = self._offer(packet)
+        prof.add("admission/check", prof_t0)
+        return admitted
+
+    def _offer(self, packet) -> bool:
         now = self.sim.now
         cls = self.class_of(packet)
         self.offered += 1

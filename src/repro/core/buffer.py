@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.packet import FlowKey, Packet
 from ..sim import Simulator
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage
 
@@ -39,6 +39,10 @@ _DEDUP_WINDOW = 65536
 #: exhaust memory; shed packets are counted, never silently lost).
 _DEFAULT_MAX_HELD = 65536
 
+#: Shared release-requirements value for the (common) packet carrying
+#: no wrap-around logs; never mutated -- _satisfied only reads it.
+_NO_REQUIREMENTS: Dict[str, Dict[int, int]] = {}
+
 
 class Buffer:
     """Egress element: release gating, state feedback, commit tracking."""
@@ -53,6 +57,7 @@ class Buffer:
         self.costs = costs
         self.name = name
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_hold = registry.histogram(f"{name}/hold_time_s")
         self._m_held = registry.gauge(f"{name}/held")
@@ -103,6 +108,13 @@ class Buffer:
 
     def handle(self, packet: Packet, message: PiggybackMessage) -> float:
         """Process one packet at chain egress; returns CPU cycles spent."""
+        prof = self._prof
+        prof_t0 = prof.t0()
+        cycles = self._handle(packet, message)
+        prof.add("buffer/hold", prof_t0)
+        return cycles
+
+    def _handle(self, packet: Packet, message: PiggybackMessage) -> float:
         if (self._boundary is not None and packet.is_data
                 and packet.meta.get("cfg", -1) >= self._boundary):
             self._boundary_parked.append((packet, message))
@@ -136,15 +148,20 @@ class Buffer:
 
         # 2. Any logs still aboard belong to wrap-around groups: they
         #    define this packet's release requirements and must be fed
-        #    back to the forwarder to continue replication.
-        requirements: Dict[str, Dict[int, int]] = {}
-        for mbox in list(message.logs):
-            for log in message.take_logs(mbox):
-                cycles += self.costs.piggyback_attach_cycles
-                if log.packet_id == packet.pid and not log.is_noop:
-                    requirements[mbox] = dict(log.depvec)
-                self.feedback_logs.append(log)
-                self._feedback_dirty = True
+        #    back to the forwarder to continue replication.  Most
+        #    packets (any f < chain length run) carry none: share one
+        #    immutable empty dict instead of allocating a fresh dict +
+        #    key-list copy per packet.
+        requirements: Dict[str, Dict[int, int]] = _NO_REQUIREMENTS
+        if message.logs:
+            requirements = {}
+            for mbox in list(message.logs):
+                for log in message.take_logs(mbox):
+                    cycles += self.costs.piggyback_attach_cycles
+                    if log.packet_id == packet.pid and not log.is_noop:
+                        requirements[mbox] = dict(log.depvec)
+                    self.feedback_logs.append(log)
+                    self._feedback_dirty = True
 
         if self._feedback_dirty and not self._feedback_kick.triggered:
             self._feedback_kick.succeed()
@@ -180,7 +197,10 @@ class Buffer:
                     "buffer", "hold", t=self.sim.now, pid=packet.pid,
                     detail=f"awaiting commits from {sorted(requirements)}",
                     chain=f"pid:{packet.pid}")
+        prof = self._prof
+        prof_t0 = prof.t0()
         self._scan_held()
+        prof.add("buffer/release", prof_t0)
         if self.telemetry.enabled:
             self._m_held.set(len(self.held))
         self.cycles_spent += cycles

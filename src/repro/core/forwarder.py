@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from ..net.packet import FlowKey, Packet
 from ..sim import Simulator
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .piggyback import CommitVector, PiggybackLog, PiggybackMessage, value_bytes
 
@@ -38,6 +38,7 @@ class Forwarder:
         self.costs = costs
         self.name = name
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_attached = registry.counter(f"{name}/logs_attached")
         self._m_pending = registry.gauge(f"{name}/pending_logs")
@@ -74,6 +75,8 @@ class Forwarder:
 
     def attach(self, message: PiggybackMessage) -> float:
         """Move pending state onto a packet's message; returns CPU cycles."""
+        prof = self._prof
+        prof_t0 = prof.t0()
         self.packets_seen += 1
         self.last_rx = self.sim.now
         cycles = self.costs.forwarder_cycles
@@ -91,6 +94,7 @@ class Forwarder:
             message.set_commit(CommitVector(mbox, dict(self.pending_commits[mbox])))
         self._dirty_commits.clear()
         self.cycles_spent += cycles
+        prof.add("piggyback/append", prof_t0)
         return cycles
 
     # -- propagating packets (§5.1) -----------------------------------------------

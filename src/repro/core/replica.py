@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 from ..middlebox.base import DROP, Middlebox
 from ..net.packet import Packet
 from ..sim import CancelledError, Interrupt, Process, RandomStreams, Simulator
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 from .costs import CostModel, DEFAULT_COSTS
 from .depvec import ReplicationState
 from .piggyback import PiggybackMessage, value_bytes
@@ -58,6 +58,7 @@ class Replica:
         self.costs = costs
         self.streams = streams or RandomStreams(0)
         self.telemetry = getattr(chain, "telemetry", None) or NULL_TELEMETRY
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_pb_bytes = registry.histogram("piggyback/bytes")
 
@@ -190,12 +191,14 @@ class Replica:
             if isinstance(verdict, Packet):
                 out_packet = verdict
 
+        # byte_size walks every log and commit aboard; compute it once
+        # for both the histogram and the tailroom check.
+        pb_bytes = message.byte_size()
         if self.telemetry.enabled:
-            self._m_pb_bytes.observe(float(message.byte_size()),
-                                     t=self.sim.now)
+            self._m_pb_bytes.observe(float(pb_bytes), t=self.sim.now)
         if traced:
             self._close_span(packet, entered)
-        if message.byte_size() > out_packet.size:
+        if pb_bytes > out_packet.size:
             # The piggyback message no longer fits the packet buffer's
             # tailroom: extend/chain the buffer before forwarding.
             yield self.sim.timeout(self.costs.cycles_to_seconds(
@@ -216,11 +219,16 @@ class Replica:
         trace_enabled = self.telemetry.enabled
         tracer = self.telemetry.tracer
         flight = self.telemetry.flight
+        prof = self._prof
         for mbox in self.replicated:
             logs = message.logs_for(mbox)
             if logs:
+                prof_t0 = prof.t0()
+                n_logs = len(logs)
                 state = self.states[mbox]
-                for log in list(logs):
+                # offer() never touches message.logs, so iterate the
+                # live list -- no per-packet throwaway copy.
+                for log in logs:
                     cycles += (self.costs.piggyback_apply_cycles +
                                self.costs.per_state_byte_cycles *
                                sum(value_bytes(v, self.costs)
@@ -238,17 +246,23 @@ class Replica:
                             pid=log.packet_id, depvec=dict(log.depvec),
                             detail=f"{mbox} @p{self.position}",
                             chain=f"pid:{log.packet_id}")
+                prof.add("depvec/merge", prof_t0, n=n_logs)
             if mbox in self.tail_last_sent:
+                prof_t0 = prof.t0()
                 message.take_logs(mbox)
                 state = self.states[mbox]
                 commit = state.commit_vector(last_sent=self.tail_last_sent[mbox])
                 if commit.entries:
                     message.set_commit(commit)
                     self.tail_last_sent[mbox] = dict(state.max)
-        for mbox, commit in message.commits.items():
-            state = self.states.get(mbox)
-            if state is not None:
-                state.absorb_commit(commit)
+                prof.add("piggyback/trim", prof_t0)
+        if message.commits:
+            prof_t0 = prof.t0()
+            for mbox, commit in message.commits.items():
+                state = self.states.get(mbox)
+                if state is not None:
+                    state.absorb_commit(commit)
+            prof.add("piggyback/trim", prof_t0)
         return cycles
 
     def _forward(self, packet: Packet, message: PiggybackMessage):

@@ -41,7 +41,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from ..sim import CancelledError, Interrupt, Simulator
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 from .retry import RetryPolicy
 
 __all__ = ["Frame", "ReliableChannel", "DATA_RETRY_POLICY",
@@ -123,6 +123,7 @@ class ReliableChannel:
         #: Drawn per ACK/NACK leg; shares the data impairment's fate.
         self.loss_fn = loss_fn or (lambda: False)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_retx = registry.counter("channel/retransmissions")
         self._m_nacks = registry.counter("channel/nacks")
@@ -225,14 +226,17 @@ class ReliableChannel:
 
     def send(self, packet) -> None:
         """Send a packet; it is delivered exactly once, in order."""
+        prof = self._prof
+        prof_t0 = prof.t0()
         if len(self.unacked) >= self.window:
             self.txq.append(packet)
             if len(self.txq) > self.txq_peak:
                 self.txq_peak = len(self.txq)
             self.window_stalls += 1
             self._m_stalls.inc()
-            return
-        self._transmit(packet)
+        else:
+            self._transmit(packet)
+        prof.add("channel/frame", prof_t0)
 
     def _transmit(self, packet) -> None:
         seq = self.next_seq
@@ -293,6 +297,12 @@ class ReliableChannel:
     # -- receiver ---------------------------------------------------------------
 
     def _on_wire(self, obj) -> None:
+        prof = self._prof
+        prof_t0 = prof.t0()
+        self._receive(obj)
+        prof.add("channel/frame", prof_t0)
+
+    def _receive(self, obj) -> None:
         if getattr(obj, "corrupted_wire", False):
             obj = obj.inner
             if isinstance(obj, Frame) and obj.epoch == self.epoch:
@@ -366,12 +376,15 @@ class ReliableChannel:
     def _on_ack(self, epoch: int, cumulative: int, sacked) -> None:
         if epoch != self.epoch:
             return
+        prof = self._prof
+        prof_t0 = prof.t0()
         acked = [seq for seq in self.unacked
                  if seq <= cumulative or seq in sacked]
         for seq in acked:
             del self.unacked[seq]
         if acked:
             self._refill()
+        prof.add("channel/ack", prof_t0)
 
     def _schedule_nack(self, got_seq: int) -> None:
         """Gap-NACK: list the missing sequences below an arrival."""

@@ -1,0 +1,53 @@
+"""Continuous performance observability (PROTOCOL.md §13).
+
+Three layers, used together by ``repro perf``:
+
+* :mod:`.profiler` -- :class:`StageProfiler` per-stage cost attribution
+  for the hot path, with collapsed-stack / speedscope flame exports;
+* :mod:`.scenarios` / :mod:`.bench` -- the scenario benchmark suite
+  emitting schema-versioned ``BENCH_<scenario>.json`` reports;
+* :mod:`.compare` -- the regression gate CI runs against committed
+  baselines.
+
+Only the stdlib-leaf modules (profiler, compare) are imported here:
+``repro.telemetry`` imports :data:`NULL_PROFILER` from this package, so
+anything that pulls in the simulator (scenarios, bench, counters) must
+stay lazily imported -- the same leaf-only discipline as
+``repro.flight.recorder``.
+"""
+
+from .profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    STAGES,
+    STAGE_TREE,
+    StageProfiler,
+    collapsed_lines,
+    exclusive_seconds,
+    speedscope_doc,
+)
+from .compare import (
+    DEFAULT_TOLERANCE,
+    compare_dirs,
+    compare_reports,
+    headline_pps,
+    load_reports,
+    render_markdown,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "STAGES",
+    "STAGE_TREE",
+    "StageProfiler",
+    "collapsed_lines",
+    "compare_dirs",
+    "compare_reports",
+    "exclusive_seconds",
+    "headline_pps",
+    "load_reports",
+    "render_markdown",
+    "speedscope_doc",
+]

@@ -1,0 +1,78 @@
+"""Chrome-trace counter tracks for queue depth and backpressure.
+
+A :class:`CounterSampler` is a sim process that periodically samples
+the chain's bounded queues -- total NIC receive-queue depth, the
+buffer's held set -- and, when an overload stack is wired, the
+:class:`~repro.core.admission.BackpressureBus` utilization, emitting
+Chrome ``C`` (counter) events on a dedicated ``tid`` so the series
+render as stacked counter tracks aligned with the packet/control-plane
+spans already in the trace (PROTOCOL.md §13.2).
+
+Sampling reads state only; it never perturbs the data plane.  The
+process touches the virtual-time queue, so it is for *tracing* runs --
+never wire it into a figure run that must stay byte-identical.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CounterSampler", "COUNTER_TID"]
+
+#: Trace lane for perf counter tracks (control plane uses 9998/9999).
+COUNTER_TID = 9997
+
+#: Default sampling cadence in virtual seconds.
+DEFAULT_INTERVAL_S = 0.5e-3
+
+
+class CounterSampler:
+    """Samples chain queue depths into a tracer's counter track."""
+
+    def __init__(self, sim, tracer, chain, interval_s: float = DEFAULT_INTERVAL_S,
+                 tid: int = COUNTER_TID, name: str = "perf/counters"):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.sim = sim
+        self.tracer = tracer
+        self.chain = chain
+        self.interval_s = interval_s
+        self.tid = tid
+        self.samples = 0
+        self._alive = True
+        tracer.set_thread_name(tid, "perf counters")
+        self._process = sim.process(self._loop(), name=name)
+
+    def stop(self) -> None:
+        self._alive = False
+
+    # -- sampling -------------------------------------------------------------
+
+    def _nic_depth(self) -> int:
+        total = 0
+        for replica in self.chain.replicas:
+            server = replica.server
+            if server is not None and not getattr(server, "failed", False):
+                total += server.nic.depth()
+        return total
+
+    def sample_once(self) -> None:
+        now = self.sim.now
+        self.samples += 1
+        self.tracer.counter(
+            "queue-depth", "perf", now, tid=self.tid,
+            nic_queued=self._nic_depth(),
+            buffer_held=len(self.chain.buffer.held))
+        admission = getattr(self.chain, "admission", None)
+        bus = getattr(admission, "bus", None) if admission is not None else None
+        if bus is not None:
+            self.tracer.counter(
+                "backpressure", "perf", now, tid=self.tid,
+                bus_utilization=round(bus.level(), 4))
+
+    def _loop(self):
+        from ..sim import CancelledError, Interrupt
+        try:
+            while self._alive:
+                self.sample_once()
+                yield self.sim.timeout(self.interval_s)
+        except (Interrupt, CancelledError):
+            return

@@ -1,0 +1,305 @@
+"""The scenario benchmark suite (PROTOCOL.md §13.2).
+
+Each scenario builds the same kind of FTC chain the protocol tests
+exercise, drives a fixed-seed workload through a scripted timeline,
+and reports what was offered and released plus the wall-clock time the
+simulation took.  The scenarios cover the regimes where per-packet
+cost differs structurally:
+
+==================== =====================================================
+baseline             raw links, no overload machinery (the fig5 fast path)
+reliable-links       per-hop ReliableChannel framing/ACK (§8), clean wire
+lossy                reliable links over impaired wire: retransmit path
+ctrlplane-failover   3-member ensemble recovers a mid-chain crash (§9)
+reconfig-under-traffic  live rescale of a mid-chain position (§11)
+overload             flash crowd through admission + backpressure (§12)
+==================== =====================================================
+
+Every scenario accepts a ``profiler``; when given, it is installed on
+both the simulator (``engine/dispatch``) and the chain's telemetry
+bundle (every other stage), so per-stage costs attribute to the same
+run that produced the headline.  Wall time is measured by the caller
+(:mod:`.bench`) around :func:`run_scenario`.
+
+Determinism: for a given (scenario, seed, quick) the virtual-time
+outcome -- offered, released, and per-stage *call counts* -- is exactly
+reproducible; only wall seconds vary run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["SCENARIOS", "run_scenario", "scenario_names"]
+
+#: Offered rate for the data-plane scenarios (pps).
+RATE_PPS = 2e5
+
+#: Virtual run length: traffic window + drain runway, full vs --quick.
+DURATION_S = 30e-3
+QUICK_DURATION_S = 10e-3
+
+
+def _new_telemetry(profiler, telemetry=None):
+    """A metrics-only bundle carrying the profiler to every component.
+
+    An externally built bundle (``repro perf profile`` passes one with
+    a live tracer) wins; otherwise profiling runs get a trace-less
+    Telemetry and unprofiled runs stay on NULL_TELEMETRY.
+    """
+    if telemetry is not None:
+        return telemetry
+    from ..telemetry import NULL_TELEMETRY, Telemetry
+    if profiler is None:
+        return NULL_TELEMETRY
+    return Telemetry(max_trace_events=0, profiler=profiler)
+
+
+def _install(sim, profiler) -> None:
+    if profiler is not None:
+        sim.profiler = profiler
+
+
+def _drain(sim, generator, duration: float, runway: float) -> None:
+    sim.run(until=duration)
+    generator.stop()
+    sim.run(until=duration + runway)
+
+
+def _result(generator, egress, chain, config: Dict) -> Dict:
+    return {
+        "config": config,
+        "offered": generator.sent,
+        "released": egress.count,
+        "buffer_held_peak": chain.buffer.held_peak,
+    }
+
+
+def _simple_chain(seed: int, profiler, reliable: bool, n_mboxes: int = 2,
+                  admission=None, telemetry=None, on_chain=None):
+    from ..core import FTCChain
+    from ..metrics import EgressRecorder
+    from ..middlebox import ch_n
+    from ..sim import Simulator
+    sim = Simulator()
+    _install(sim, profiler)
+    egress = EgressRecorder(sim)
+    chain = FTCChain(sim, ch_n(n_mboxes, n_threads=2), f=1, deliver=egress,
+                     n_threads=2, seed=seed, reliable_links=reliable,
+                     admission=admission,
+                     telemetry=_new_telemetry(profiler, telemetry))
+    chain.start()
+    if on_chain is not None:
+        on_chain(sim, chain)
+    return sim, chain, egress
+
+
+def _scenario_baseline(seed: int, quick: bool, profiler,
+                       telemetry=None, on_chain=None) -> Dict:
+    from ..net import TrafficGenerator, balanced_flows
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    sim, chain, egress = _simple_chain(seed, profiler, reliable=False,
+                                       telemetry=telemetry,
+                                       on_chain=on_chain)
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=RATE_PPS,
+                                 flows=balanced_flows(8, 2))
+    _drain(sim, generator, duration, runway=5e-3)
+    return _result(generator, egress, chain,
+                   {"chain": "ch2", "f": 1, "rate_pps": RATE_PPS,
+                    "duration_s": duration})
+
+
+def _scenario_reliable(seed: int, quick: bool, profiler,
+                       telemetry=None, on_chain=None) -> Dict:
+    from ..net import TrafficGenerator, balanced_flows
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    sim, chain, egress = _simple_chain(seed, profiler, reliable=True,
+                                       telemetry=telemetry,
+                                       on_chain=on_chain)
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=RATE_PPS,
+                                 flows=balanced_flows(8, 2))
+    _drain(sim, generator, duration, runway=5e-3)
+    return _result(generator, egress, chain,
+                   {"chain": "ch2", "f": 1, "rate_pps": RATE_PPS,
+                    "duration_s": duration, "reliable_links": True})
+
+
+def _scenario_lossy(seed: int, quick: bool, profiler,
+                    telemetry=None, on_chain=None) -> Dict:
+    from ..net import TrafficGenerator, balanced_flows
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    rate = RATE_PPS / 2
+    sim, chain, egress = _simple_chain(seed, profiler, reliable=True,
+                                       telemetry=telemetry,
+                                       on_chain=on_chain)
+    chain.net.impair_data(drop_rate=0.02, dup_rate=0.01, reorder_rate=0.01,
+                          corrupt_rate=0.005, seed=seed)
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate,
+                                 flows=balanced_flows(8, 2))
+    sim.run(until=duration)
+    generator.stop()
+    # Heal before the runway so retransmission tails converge.
+    chain.net.clear_data_impairment()
+    sim.run(until=duration + 30e-3)
+    result = _result(generator, egress, chain,
+                     {"chain": "ch2", "f": 1, "rate_pps": rate,
+                      "duration_s": duration, "reliable_links": True,
+                      "impairment": "drop=0.02,dup=0.01,reorder=0.01,"
+                                    "corrupt=0.005"})
+    result["retransmissions"] = chain.channel_stats().get(
+        "retransmissions", 0)
+    return result
+
+
+def _scenario_ctrlplane(seed: int, quick: bool, profiler,
+                        telemetry=None, on_chain=None) -> Dict:
+    from ..chaos.soak import CTRLPLANE_ELECTION
+    from ..core import FTCChain
+    from ..metrics import EgressRecorder
+    from ..middlebox import ch_n
+    from ..net import TrafficGenerator, balanced_flows
+    from ..orchestration import OrchestratorEnsemble
+    from ..sim import Simulator
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    rate = 5e4
+    t_fail = duration * 0.4
+    sim = Simulator()
+    _install(sim, profiler)
+    egress = EgressRecorder(sim)
+    chain = FTCChain(sim, ch_n(3, n_threads=2), f=1, deliver=egress,
+                     n_threads=2, seed=seed,
+                     telemetry=_new_telemetry(profiler, telemetry))
+    chain.start()
+    if on_chain is not None:
+        on_chain(sim, chain)
+    ensemble = OrchestratorEnsemble(sim, chain, n=3,
+                                    election=CTRLPLANE_ELECTION,
+                                    telemetry=chain.telemetry)
+    ensemble.start()
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate,
+                                 flows=balanced_flows(8, 2))
+    sim.schedule_callback(t_fail, lambda: chain.fail_position(1))
+    sim.run(until=duration)
+    generator.stop()
+    # Recovery runway: detection + election-held lease + respawn.
+    sim.run(until=duration + 50e-3)
+    ensemble.stop()
+    result = _result(generator, egress, chain,
+                     {"chain": "ch3", "f": 1, "rate_pps": rate,
+                      "duration_s": duration, "orchestrators": 3,
+                      "fail_position": 1, "t_fail_s": t_fail})
+    result["recoveries"] = len(ensemble.history)
+    return result
+
+
+def _scenario_reconfig(seed: int, quick: bool, profiler,
+                       telemetry=None, on_chain=None) -> Dict:
+    from ..core import FTCChain
+    from ..core.reconfig import ReconfigOp, apply_reconfig
+    from ..metrics import EgressRecorder
+    from ..middlebox import ch_n
+    from ..net import TrafficGenerator, balanced_flows
+    from ..sim import Simulator
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    rate = RATE_PPS / 2
+    sim = Simulator()
+    _install(sim, profiler)
+    egress = EgressRecorder(sim)
+    chain = FTCChain(sim, ch_n(3, n_threads=2), f=1, deliver=egress,
+                     n_threads=2, seed=seed, reliable_links=True,
+                     telemetry=_new_telemetry(profiler, telemetry))
+    chain.start()
+    if on_chain is not None:
+        on_chain(sim, chain)
+    generator = TrafficGenerator(sim, chain.ingress, rate_pps=rate,
+                                 flows=balanced_flows(8, 2))
+    outcome: Dict = {}
+
+    def drive():
+        op = ReconfigOp(kind="rescale", position=1, n_threads=4)
+        report = yield from apply_reconfig(chain, op)
+        outcome["committed"] = report.committed
+
+    sim.schedule_callback(duration * 0.4,
+                          lambda: sim.process(drive(), name="perf-reconfig"))
+    sim.run(until=duration)
+    generator.stop()
+    sim.run(until=duration + 30e-3)
+    result = _result(generator, egress, chain,
+                     {"chain": "ch3", "f": 1, "rate_pps": rate,
+                      "duration_s": duration, "reliable_links": True,
+                      "op": "rescale@1->4threads"})
+    result["reconfig_committed"] = bool(outcome.get("committed"))
+    return result
+
+
+def _scenario_overload(seed: int, quick: bool, profiler,
+                       telemetry=None, on_chain=None) -> Dict:
+    from ..core.admission import AdmissionControl, BackpressureBus
+    from ..net import WorkloadGenerator, WorkloadSpec
+    from ..net.flowgen import FlashCrowd
+    from ..sim import RandomStreams, Simulator
+    from ..core import FTCChain
+    from ..metrics import EgressRecorder
+    from ..middlebox import ch_n
+    duration = QUICK_DURATION_S if quick else DURATION_S
+    base_pps = 1e5
+    sim = Simulator()
+    _install(sim, profiler)
+    egress = EgressRecorder(sim)
+    telemetry = _new_telemetry(profiler, telemetry)
+    admission = AdmissionControl(sim, rate_pps=base_pps * 0.6,
+                                 bus=BackpressureBus(), telemetry=telemetry)
+    chain = FTCChain(sim, ch_n(2, n_threads=2), f=1, deliver=egress,
+                     n_threads=2, seed=seed, admission=admission,
+                     telemetry=telemetry)
+    chain.start()
+    if on_chain is not None:
+        on_chain(sim, chain)
+    spec = WorkloadSpec(
+        base_pps=base_pps,
+        flashes=(FlashCrowd(at_s=duration * 0.3, duration_s=duration * 0.3,
+                            multiplier=4.0),),
+        n_flows=64, n_classes=3)
+    generator = WorkloadGenerator(sim, chain.ingress, spec, n_queues=2,
+                                  streams=RandomStreams(seed))
+    _drain(sim, generator, duration, runway=10e-3)
+    result = _result(generator, egress, chain,
+                     {"chain": "ch2", "f": 1, "base_pps": base_pps,
+                      "duration_s": duration, "flash_multiplier": 4.0,
+                      "admission_pps": base_pps * 0.6})
+    result["admitted"] = admission.admitted
+    result["shed"] = admission.shed
+    return result
+
+
+#: name -> runner(seed, quick, profiler, telemetry=, on_chain=) -> dict.
+SCENARIOS: Dict[str, Callable[..., Dict]] = {
+    "baseline": _scenario_baseline,
+    "reliable-links": _scenario_reliable,
+    "lossy": _scenario_lossy,
+    "ctrlplane-failover": _scenario_ctrlplane,
+    "reconfig-under-traffic": _scenario_reconfig,
+    "overload": _scenario_overload,
+}
+
+
+def scenario_names():
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0, quick: bool = False,
+                 profiler=None, telemetry=None, on_chain=None) -> Dict:
+    """Run one scenario; returns its result dict (no wall timing here).
+
+    ``telemetry`` overrides the scenario's internal bundle (e.g. to
+    capture a Chrome trace); ``on_chain(sim, chain)`` fires after the
+    chain starts (e.g. to attach a :class:`~.counters.CounterSampler`).
+    """
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}")
+    return runner(seed, quick, profiler, telemetry=telemetry,
+                  on_chain=on_chain)

@@ -361,6 +361,11 @@ class Simulator:
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional :class:`~repro.perf.StageProfiler`; when set,
+        #: :meth:`step` attributes callback execution to the
+        #: ``engine/dispatch`` stage.  ``None`` keeps the disabled path
+        #: at one attribute load per step (fig5/fig13 byte-identical).
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -424,8 +429,15 @@ class Simulator:
             return
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            t0 = profiler.t0()
+            for callback in callbacks:
+                callback(event)
+            profiler.add("engine/dispatch", t0)
         if not event._ok and not event._defused:
             exc = event._value
             raise exc

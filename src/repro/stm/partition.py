@@ -30,7 +30,14 @@ def _canonical(key: Hashable) -> bytes:
     if isinstance(key, str):
         return key.encode()
     if isinstance(key, int):
-        return b"i" + key.to_bytes(16, "big", signed=True)
+        try:
+            return b"i" + key.to_bytes(16, "big", signed=True)
+        except OverflowError:
+            # Keys beyond 128 bits get a length-prefixed encoding; the
+            # common fixed-width path keeps its historical mapping.
+            n = (key.bit_length() + 8) // 8
+            return b"I" + n.to_bytes(4, "big") + \
+                key.to_bytes(n, "big", signed=True)
     if isinstance(key, tuple):
         parts = bytearray(b"t")
         for element in key:

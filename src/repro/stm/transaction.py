@@ -27,7 +27,7 @@ import itertools
 from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Set
 
 from ..sim import Simulator
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_PROFILER, NULL_TELEMETRY
 from .locks import LockStats, PartitionLock, TransactionWounded
 from .partition import PartitionSpace
 from .store import StateStore, TOMBSTONE
@@ -183,6 +183,7 @@ class TransactionManager:
         self.name = name
         self.lock_stats = LockStats()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prof = getattr(self.telemetry, "profiler", NULL_PROFILER)
         registry = self.telemetry.registry
         self._m_commits = registry.counter(f"{name}/commits")
         self._m_retries = registry.counter(f"{name}/retries")
@@ -305,12 +306,15 @@ class TransactionManager:
                     commit_hold = commit_hold_fn(live)
                     if commit_hold > 0.0:
                         yield self.sim.timeout(commit_hold)
+                prof = self._prof
+                prof_t0 = prof.t0()
                 self.store.apply_many(live.writes)
                 commit_value = None
                 if on_commit is not None:
                     commit_value = on_commit(live, live_partitions)
                 tx.phase = "done"
                 tx.release_all()
+                prof.add("stm/commit", prof_t0)
                 self.committed += 1
                 self.total_retries += tx.retries
                 self._m_commits.inc()

@@ -53,6 +53,7 @@ from .trace import (
     validate_chrome_trace,
 )
 from ..flight.recorder import NULL_FLIGHT  # no cycle: recorder is leaf-only
+from ..perf.profiler import NULL_PROFILER  # no cycle: profiler is leaf-only
 
 __all__ = [
     "Counter",
@@ -63,6 +64,7 @@ __all__ = [
     "NULL_FLIGHT",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
     "NULL_TIMELINE",
@@ -86,7 +88,8 @@ class Telemetry:
     """The enabled bundle: registry + tracer + timeline."""
 
     def __init__(self, sample_every: int = 1,
-                 max_trace_events: Optional[int] = None, flight=None):
+                 max_trace_events: Optional[int] = None, flight=None,
+                 profiler=None):
         self.registry = MetricRegistry()
         if max_trace_events is None:
             self.tracer = PacketTracer(sample_every=sample_every)
@@ -97,6 +100,9 @@ class Telemetry:
         #: Causal flight recorder (PR 5); NULL_FLIGHT unless a run opts
         #: in with ``--flight`` / ``SoakConfig.flight``.
         self.flight = flight if flight is not None else NULL_FLIGHT
+        #: Per-stage cost attribution (PROTOCOL.md §13); NULL_PROFILER
+        #: unless a perf run passes a StageProfiler.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     @property
     def enabled(self) -> bool:
@@ -138,6 +144,7 @@ class NullTelemetry:
     tracer = NULL_TRACER
     timeline = NULL_TIMELINE
     flight = NULL_FLIGHT
+    profiler = NULL_PROFILER
 
     @property
     def enabled(self) -> bool:

@@ -18,6 +18,8 @@ the Chrome Trace Event spec --
 * ``X`` (complete) events add ``dur`` (µs, >= 0)
 * ``b``/``e`` (async begin/end) events add ``id``
 * ``M`` (metadata) events name the pid/tid lanes
+* ``C`` (counter) events carry an ``args`` object of numeric series
+  values (rendered as stacked counter tracks by the viewer)
 * optional ``args`` must be a JSON object
 
 :func:`validate_chrome_trace` checks exactly this schema; CI runs it
@@ -33,7 +35,7 @@ __all__ = ["PacketTracer", "NULL_TRACER", "NullTracer",
            "validate_chrome_trace", "SPAN_PHASES"]
 
 #: Phases a trace event may carry (subset of the Chrome spec we emit).
-SPAN_PHASES = ("X", "i", "b", "e", "M")
+SPAN_PHASES = ("X", "i", "b", "e", "M", "C")
 
 #: Default hard cap on retained events (soak safety).
 DEFAULT_MAX_EVENTS = 200_000
@@ -98,6 +100,17 @@ class PacketTracer:
         self._emit({"name": name, "cat": cat, "ph": "e", "ts": t_s * 1e6,
                     "pid": pid, "tid": tid, "id": pid, "args": args})
 
+    def counter(self, name: str, cat: str, t_s: float, tid: int = 0,
+                **values: float) -> None:
+        """A sampled counter point (Chrome ``C`` event).
+
+        ``values`` become the event's ``args`` -- each key renders as
+        one series on the counter track.  Counter events live on
+        ``pid 0`` (they describe the system, not a packet).
+        """
+        self._emit({"name": name, "cat": cat, "ph": "C", "ts": t_s * 1e6,
+                    "pid": 0, "tid": tid, "args": dict(values)})
+
     def set_thread_name(self, tid: int, name: str) -> None:
         """Label a ``tid`` lane (chain position) in the viewer."""
         self._thread_names[tid] = name
@@ -156,6 +169,9 @@ class NullTracer:
     def end_async(self, *args, **kwargs) -> None:
         pass
 
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
     def set_thread_name(self, tid: int, name: str) -> None:
         pass
 
@@ -205,4 +221,12 @@ def validate_chrome_trace(trace: object) -> List[str]:
             problems.append(f"{where}: async event needs id")
         if "args" in event and not isinstance(event["args"], dict):
             problems.append(f"{where}: args is not an object")
+        if phase == "C":
+            series = event.get("args")
+            if not isinstance(series, dict) or not series:
+                problems.append(
+                    f"{where}: C event needs a non-empty args object")
+            elif not all(isinstance(v, (int, float))
+                         for v in series.values()):
+                problems.append(f"{where}: C event args must be numeric")
     return problems

@@ -1,0 +1,107 @@
+"""Bench suite: schema, determinism, and the zero-perturbation pledge."""
+
+import json
+
+import pytest
+
+from repro.perf import StageProfiler
+from repro.perf.bench import (
+    SCHEMA_VERSION,
+    bench_scenario,
+    env_metadata,
+    write_report,
+)
+from repro.perf.scenarios import SCENARIOS, run_scenario, scenario_names
+
+
+class TestScenarioRegistry:
+    def test_six_scenarios(self):
+        assert scenario_names() == [
+            "baseline", "reliable-links", "lossy", "ctrlplane-failover",
+            "reconfig-under-traffic", "overload"]
+
+    def test_cli_choices_stay_in_sync(self):
+        from repro.perf.cli import SCENARIO_CHOICES
+        assert tuple(scenario_names()) == SCENARIO_CHOICES
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("nope")
+
+
+class TestDeterminism:
+    def test_same_seed_same_results_and_call_counts(self):
+        profilers = [StageProfiler(), StageProfiler()]
+        results = [run_scenario("baseline", seed=3, quick=True, profiler=p)
+                   for p in profilers]
+        assert results[0] == results[1]
+        assert profilers[0].calls == profilers[1].calls
+
+    def test_profiler_does_not_perturb_virtual_time(self):
+        plain = run_scenario("baseline", seed=1, quick=True, profiler=None)
+        profiled = run_scenario("baseline", seed=1, quick=True,
+                                profiler=StageProfiler())
+        assert plain == profiled
+
+
+class TestBenchScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return bench_scenario("baseline", seed=0, quick=True)
+
+    def test_schema_fields(self, report):
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["scenario"] == "baseline"
+        for key in ("python", "platform", "git_sha", "seed", "quick"):
+            assert key in report["env"]
+        results = report["results"]
+        assert results["released"] > 0
+        assert results["sim_pps_per_wall_s"] > 0
+        assert results["wall_s"] > 0
+
+    def test_stage_breakdown_present(self, report):
+        stages = report["stages"]
+        assert "engine/dispatch" in stages
+        assert "stm/commit" in stages
+        entry = stages["stm/commit"]
+        assert entry["calls"] > 0
+        assert "us_per_packet" in entry
+        assert "calls_per_packet" in entry
+
+    def test_report_is_json_serializable(self, report):
+        json.dumps(report)
+
+    def test_write_report_filename(self, report, tmp_path):
+        path = write_report(report, str(tmp_path))
+        assert path.endswith("BENCH_baseline.json")
+        assert json.load(open(path))["scenario"] == "baseline"
+
+
+class TestEnvMetadata:
+    def test_carries_seed_and_quick(self):
+        env = env_metadata(seed=7, quick=True)
+        assert env["seed"] == 7 and env["quick"] is True
+        assert env["implementation"] == "CPython"
+
+
+class TestScenarioShapes:
+    """Cheap structural checks on the non-baseline scenarios (quick)."""
+
+    def test_overload_sheds(self):
+        result = run_scenario("overload", seed=0, quick=True)
+        assert result["admitted"] + result["shed"] == result["offered"]
+        assert result["shed"] > 0
+
+    def test_lossy_retransmits_and_recovers(self):
+        result = run_scenario("lossy", seed=0, quick=True)
+        assert result["released"] == result["offered"]
+        assert result["retransmissions"] > 0
+
+    def test_reconfig_commits(self):
+        result = run_scenario("reconfig-under-traffic", seed=0, quick=True)
+        assert result["reconfig_committed"] is True
+        assert result["released"] == result["offered"]
+
+    def test_ctrlplane_recovers(self):
+        result = run_scenario("ctrlplane-failover", seed=0, quick=True)
+        assert result["recoveries"] >= 1

@@ -118,6 +118,13 @@ class TestPartitionSpace:
         space = PartitionSpace(32)
         assert space.partition_of(key) == space.partition_of(key)
 
+    def test_integers_beyond_128_bits(self):
+        # Regression: 16-byte fixed-width encoding overflowed here.
+        space = PartitionSpace(32)
+        for key in (2 ** 127, -(2 ** 127) - 1, 2 ** 400):
+            assert 0 <= space.partition_of(key) < 32
+            assert space.partition_of(key) == space.partition_of(key)
+
     def test_equality(self):
         assert PartitionSpace(8) == PartitionSpace(8)
         assert PartitionSpace(8) != PartitionSpace(16)

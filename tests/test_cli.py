@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -74,3 +76,74 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "Packet processing" in out
+
+
+class TestPerf:
+    def test_bench_single_scenario(self, capsys, tmp_path):
+        code = main(["perf", "bench", "--scenario", "baseline", "--quick",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim pps/wall s" in out
+        report = json.loads((tmp_path / "BENCH_baseline.json").read_text())
+        assert report["schema_version"] == 2
+        assert report["stages"]
+
+    def test_compare_gate_exit_codes(self, capsys, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        for d in (base, cur):
+            d.mkdir()
+        report = {"scenario": "s", "results": {"sim_pps_per_wall_s": 1000}}
+        (base / "BENCH_s.json").write_text(json.dumps(report))
+        (cur / "BENCH_s.json").write_text(json.dumps(report))
+        assert main(["perf", "compare", "--baseline-dir", str(base),
+                     "--current-dir", str(cur)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+        # Inject a 20% regression: must exit nonzero.
+        report["results"]["sim_pps_per_wall_s"] = 800
+        (cur / "BENCH_s.json").write_text(json.dumps(report))
+        assert main(["perf", "compare", "--baseline-dir", str(base),
+                     "--current-dir", str(cur)]) == 1
+        assert "gate **FAILED**" in capsys.readouterr().out
+
+    def test_compare_writes_markdown(self, capsys, tmp_path):
+        summary = tmp_path / "summary.md"
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        assert main(["perf", "compare", "--baseline-dir",
+                     str(tmp_path / "base"), "--current-dir",
+                     str(tmp_path / "cur"), "--markdown",
+                     str(summary)]) == 0
+        assert "Perf regression gate" in summary.read_text()
+
+    def test_flame_from_bench_report(self, capsys, tmp_path):
+        report = {"scenario": "s", "results": {"sim_pps_per_wall_s": 1},
+                  "stages": {"engine/dispatch":
+                             {"calls": 2, "wall_s": 1e-3}}}
+        path = tmp_path / "BENCH_s.json"
+        path.write_text(json.dumps(report))
+        assert main(["perf", "flame", str(path)]) == 0
+        assert "engine/dispatch 1000" in capsys.readouterr().out
+        assert main(["perf", "flame", str(path), "--format", "speedscope",
+                     "--out", str(tmp_path / "f.json")]) == 0
+        doc = json.loads((tmp_path / "f.json").read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+
+    def test_flame_rejects_stageless_report(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_s.json"
+        path.write_text(json.dumps({"scenario": "s"}))
+        assert main(["perf", "flame", str(path)]) == 1
+
+    def test_profile_writes_artifacts(self, capsys, tmp_path):
+        prefix = str(tmp_path / "prof")
+        code = main(["perf", "profile", "baseline", "--quick",
+                     "--out-prefix", prefix])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counter samples" in out
+        assert "engine/dispatch" in out
+        trace = json.loads((tmp_path / "prof.trace.json").read_text())
+        from repro.telemetry.trace import validate_chrome_trace
+        assert validate_chrome_trace(trace) == []
+        assert (tmp_path / "prof.collapsed").read_text().strip()
+        json.loads((tmp_path / "prof.speedscope.json").read_text())
